@@ -1,0 +1,61 @@
+"""Fig. 4: exactly synthesized solutions of a VQE circuit — CNOT count
+does not order output distance (TVD).
+
+Runs the LEAP compiler on a 4-qubit VQE circuit, keeps the near-exact
+solutions it finds at different CNOT counts, and prints (cnots, distance,
+TVD).  The paper's observation: the minimum-CNOT exact solution is not
+the minimum-TVD one, which motivates approximate + ensemble selection.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.algorithms import vqe_ansatz
+from repro.metrics import tvd
+from repro.sim import circuit_unitary, ideal_distribution
+from repro.synthesis import LeapConfig, synthesize
+
+#: "Exact" threshold from the paper (process distance < 1e-5); our float64
+#: optimizer reliably reaches ~1e-6, comfortably below it.
+EXACT_THRESHOLD = 1e-5
+
+
+def _collect_solutions():
+    circuit = vqe_ansatz(4, layers=1, rng=11)
+    target = circuit_unitary(circuit)
+    config = LeapConfig(
+        max_layers=5,
+        seed=4,
+        solutions_per_layer=3,
+        instantiation_starts=3,
+        max_optimizer_iterations=400,
+        time_budget=240.0,
+    )
+    report = synthesize(target, config)
+    truth = ideal_distribution(circuit)
+    rows = []
+    for solution in report.solutions:
+        output = ideal_distribution(solution.circuit)
+        rows.append(
+            (solution.cnot_count, solution.distance, tvd(truth, output))
+        )
+    return circuit, rows
+
+
+def test_fig04_exact_scatter(benchmark):
+    circuit, rows = benchmark.pedantic(_collect_solutions, rounds=1, iterations=1)
+    exact = [r for r in rows if r[1] < EXACT_THRESHOLD]
+    print_table(
+        f"Fig. 4: VQE-4 ({circuit.cnot_count()} CNOTs) synthesized solutions",
+        ["cnots", "process_distance", "tvd"],
+        [[c, f"{d:.2e}", f"{t:.4f}"] for c, d, t in rows],
+    )
+    print(f"exact (<{EXACT_THRESHOLD:g}) solutions: {len(exact)}")
+    # At least one exact solution exists and exact solutions have tiny TVD.
+    assert exact, "no exact solution found"
+    assert min(t for _, _, t in exact) < 0.01
+    # The approximate (non-exact) pool spans a wide TVD range, the spread
+    # Fig. 4 illustrates.
+    tvds = [t for _, _, t in rows]
+    assert max(tvds) - min(tvds) > 0.05

@@ -1,0 +1,75 @@
+"""Fig. 7: the Sec. 3.8 upper bound vs the actual full-circuit process
+distance, across algorithms and perturbation scales.
+
+The paper shows the bound is respected for every sample and reasonably
+tight.  Here each algorithm circuit is partitioned, its blocks perturbed
+at several magnitudes, and both sides of the inequality are printed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_table
+
+from repro.algorithms import qft, tfim, vqe_ansatz, xy_model
+from repro.circuits import Circuit
+from repro.core import verify_bound
+from repro.partition import scan_partition
+
+SCALES = [0.02, 0.05, 0.1, 0.2, 0.4]
+
+
+def _perturb(circuit: Circuit, rng: np.random.Generator, scale: float) -> Circuit:
+    out = Circuit(circuit.num_qubits)
+    for op in circuit.operations:
+        if op.params:
+            out.add_gate(
+                op.name,
+                op.qubits,
+                tuple(p + float(rng.normal(0.0, scale)) for p in op.params),
+            )
+        else:
+            out.append(op)
+    return out
+
+
+def _bound_samples():
+    circuits = {
+        "tfim_4": tfim(4, steps=2),
+        "xy_4": xy_model(4, steps=2),
+        "qft_4": qft(4),
+        "vqe_4": vqe_ansatz(4, layers=2, rng=5),
+    }
+    rng = np.random.default_rng(7)
+    rows = []
+    for name, circuit in circuits.items():
+        blocks = scan_partition(
+            circuit.without_measurements(), max_block_qubits=3
+        )
+        for scale in SCALES:
+            approx = [
+                b.with_circuit(_perturb(b.circuit, rng, scale)) for b in blocks
+            ]
+            check = verify_bound(circuit, blocks, approx)
+            rows.append(
+                (name, scale, check.actual_distance, check.upper_bound)
+            )
+    return rows
+
+
+def test_fig07_bound_respected(benchmark):
+    rows = benchmark.pedantic(_bound_samples, rounds=1, iterations=1)
+    print_table(
+        "Fig. 7: process-distance upper bound vs actual distance",
+        ["algorithm", "perturbation", "actual", "bound"],
+        [
+            [name, scale, f"{actual:.4f}", f"{bound:.4f}"]
+            for name, scale, actual, bound in rows
+        ],
+    )
+    for name, scale, actual, bound in rows:
+        assert actual <= bound + 1e-7, (name, scale)
+    # Tightness: for most samples the bound is within ~4x of the actual
+    # distance (the paper calls it "relatively tight").
+    ratios = [actual / bound for _, _, actual, bound in rows if bound > 1e-6]
+    assert np.median(ratios) > 0.25

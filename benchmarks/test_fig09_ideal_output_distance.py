@@ -1,0 +1,79 @@
+"""Fig. 9: output distance (TVD and JSD) of QUEST ensembles vs the ground
+truth in an *ideal* (noiseless) environment.
+
+Paper shape: both metrics stay low across all algorithms despite the
+large CNOT reductions of Fig. 8.  Includes the ablation the paper argues
+in Sec. 3.6: dissimilar selection beats (a) picking only the single
+lowest-CNOT approximation and (b) random sampling of the approximation
+space (the paper quotes > 0.1 TVD for random sampling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_table
+
+from repro.core import ensemble_distribution
+from repro.metrics import average_distributions, jsd, tvd
+from repro.partition import stitch_blocks
+from repro.sim import ideal_distribution
+
+
+def _random_ensemble_tvd(result, truth, rng) -> float:
+    """Random sampling baseline: average M uniform-random pool choices."""
+    distributions = []
+    for _ in range(max(len(result.circuits), 4)):
+        chosen_blocks = [
+            pool.block.with_circuit(
+                pool.candidates[int(rng.integers(pool.size))].circuit
+            )
+            for pool in result.pools
+        ]
+        circuit = stitch_blocks(chosen_blocks, result.baseline.num_qubits)
+        distributions.append(ideal_distribution(circuit))
+    return tvd(truth, average_distributions(distributions))
+
+
+def _collect(quest_cache):
+    rng = np.random.default_rng(99)
+    rows = []
+    for name in quest_cache.names:
+        result = quest_cache.result(name)
+        truth = ideal_distribution(result.baseline)
+        ensemble = ensemble_distribution(result.circuits)
+        lowest_cnot = min(result.circuits, key=lambda c: c.cnot_count())
+        rows.append(
+            (
+                name,
+                tvd(truth, ensemble),
+                jsd(truth, ensemble),
+                tvd(truth, ideal_distribution(lowest_cnot)),
+                _random_ensemble_tvd(result, truth, rng),
+            )
+        )
+    return rows
+
+
+def test_fig09_ideal_output_distance(benchmark, quest_cache):
+    rows = benchmark.pedantic(
+        lambda: _collect(quest_cache), rounds=1, iterations=1
+    )
+    print_table(
+        "Fig. 9: ideal-environment output distance of QUEST ensembles",
+        ["algorithm", "tvd", "jsd", "tvd_lowest_cnot_only", "tvd_random_selection"],
+        [
+            [n, f"{t:.4f}", f"{j:.4f}", f"{tl:.4f}", f"{tr:.4f}"]
+            for n, t, j, tl, tr in rows
+        ],
+    )
+    tvds = [t for _, t, _, _, _ in rows]
+    jsds = [j for _, _, j, _, _ in rows]
+    # Low output distance across all algorithms (paper: both metrics low).
+    assert max(tvds) < 0.20
+    assert float(np.median(tvds)) < 0.10
+    # JSD tracks TVD (paper: "both metrics have similar trends").
+    assert np.corrcoef(tvds, jsds)[0, 1] > 0.7 or max(tvds) < 0.02
+    # Ablation: the ensemble is no worse on average than random selection.
+    mean_ensemble = float(np.mean(tvds))
+    mean_random = float(np.mean([tr for *_, tr in rows]))
+    assert mean_ensemble <= mean_random + 0.02

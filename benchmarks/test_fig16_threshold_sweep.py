@@ -1,0 +1,100 @@
+"""Fig. 16: output quality vs the process-distance threshold of the dual
+annealing engine.
+
+Paper shape: a too-high threshold admits coarse approximations and the
+output distance blows up; a sensible band of thresholds all work well
+(no exhaustive tuning needed).  The sweep reuses one synthesis run per
+algorithm and re-runs only the selection stage per threshold — the same
+factorization the paper's pipeline has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import BENCH_CONFIG, print_table
+
+from repro import run_quest
+from repro.algorithms import heisenberg, tfim
+from repro.core import SelectionObjective, ensemble_distribution, select_approximations
+from repro.metrics import tvd
+from repro.partition import stitch_blocks
+from repro.sim import ideal_distribution
+
+#: Threshold per block; the full-circuit threshold scales with the block
+#: count, as in Sec. 4.1.
+THRESHOLDS = [0.05, 0.1, 0.2, 0.4, 0.8]
+
+
+def _sweep(builder):
+    from dataclasses import replace
+
+    circuit = builder(4, steps=2)
+    # Synthesize once with a *permissive* per-block cap so the pools also
+    # contain the coarse approximations that a too-high selection
+    # threshold would admit — the effect Fig. 16 demonstrates.  Only the
+    # selection stage is re-run per threshold.
+    base = run_quest(
+        circuit, replace(BENCH_CONFIG, threshold_per_block=0.8)
+    )
+    truth = ideal_distribution(base.baseline)
+    rows = []
+    for per_block in THRESHOLDS:
+        objective = SelectionObjective(
+            pools=base.pools,
+            threshold=per_block * len(base.blocks),
+            original_cnot_count=base.original_cnot_count,
+        )
+        selection = select_approximations(
+            objective, max_samples=BENCH_CONFIG.max_samples, seed=1
+        )
+        circuits = [
+            stitch_blocks(
+                [
+                    pool.block.with_circuit(
+                        pool.candidates[int(i)].circuit
+                    )
+                    for pool, i in zip(base.pools, choice)
+                ],
+                base.baseline.num_qubits,
+            )
+            for choice in selection.choices
+        ]
+        ensemble = ensemble_distribution(circuits)
+        mean_cnots = float(np.mean([c.cnot_count() for c in circuits]))
+        rows.append((per_block, mean_cnots, tvd(truth, ensemble)))
+    return base.original_cnot_count, rows
+
+
+def _check_shape(rows):
+    tvds = [t for _, _, t in rows]
+    cnots = [c for _, c, _ in rows]
+    # Higher thresholds admit coarser (cheaper) approximations...
+    assert cnots[-1] <= cnots[0] + 1e-9
+    # ...and the coarsest threshold produces the worst output distance,
+    # while a mid-band threshold stays accurate.
+    assert tvds[-1] >= max(tvds[0], tvds[1]) - 1e-9
+    assert min(tvds[:3]) < 0.1
+
+
+def test_fig16_tfim_threshold_sweep(benchmark):
+    baseline_cnots, rows = benchmark.pedantic(
+        lambda: _sweep(tfim), rounds=1, iterations=1
+    )
+    print_table(
+        f"Fig. 16(a): TFIM-4 ({baseline_cnots} CNOTs) threshold sweep",
+        ["threshold_per_block", "mean_cnots", "ensemble_tvd"],
+        [[f"{p:.2f}", f"{c:.1f}", f"{t:.4f}"] for p, c, t in rows],
+    )
+    _check_shape(rows)
+
+
+def test_fig16_heisenberg_threshold_sweep(benchmark):
+    baseline_cnots, rows = benchmark.pedantic(
+        lambda: _sweep(heisenberg), rounds=1, iterations=1
+    )
+    print_table(
+        f"Fig. 16(b): Heisenberg-4 ({baseline_cnots} CNOTs) threshold sweep",
+        ["threshold_per_block", "mean_cnots", "ensemble_tvd"],
+        [[f"{p:.2f}", f"{c:.1f}", f"{t:.4f}"] for p, c, t in rows],
+    )
+    _check_shape(rows)

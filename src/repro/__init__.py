@@ -1,0 +1,40 @@
+"""Reproduction of QUEST (ASPLOS 2022): approximate quantum-circuit
+synthesis for higher output fidelity.
+
+Public API highlights::
+
+    from repro import Circuit, run_quest, QuestConfig
+    from repro.algorithms import tfim
+    from repro.core import ensemble_distribution
+    from repro.metrics import tvd
+
+    circuit = tfim(4, steps=3)
+    result = run_quest(circuit, QuestConfig(seed=0))
+    print(result.summary())
+"""
+
+from repro.circuits import Circuit, Gate, Operation
+from repro.core import QuestConfig, QuestResult, ensemble_distribution, run_quest
+from repro.exceptions import ReproError
+from repro.metrics import jsd, tvd
+from repro.noise import NoiseModel, fake_manila
+from repro.transpile import transpile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "Operation",
+    "run_quest",
+    "QuestConfig",
+    "QuestResult",
+    "ensemble_distribution",
+    "transpile",
+    "NoiseModel",
+    "fake_manila",
+    "tvd",
+    "jsd",
+    "ReproError",
+    "__version__",
+]

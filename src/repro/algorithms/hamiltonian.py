@@ -1,0 +1,113 @@
+"""Trotterized spin-model time evolution: TFIM, Heisenberg, XY.
+
+These are the materials-simulation workloads the paper's case study
+tracks (after ArQTiC, Bassman et al. 2021).  Each model evolves an
+``n``-spin chain from the all-up product state; a first-order Trotter
+step applies the two-body coupling terms as RXX/RYY/RZZ rotations and
+the transverse/longitudinal field as one-qubit rotations.
+
+Hamiltonian conventions (open chain, nearest neighbours)::
+
+    TFIM:        H = -J sum Z_i Z_{i+1} - h sum X_i
+    XY:          H = -J sum (X_i X_{i+1} + Y_i Y_{i+1})
+    Heisenberg:  H = -sum (Jx XX + Jy YY + Jz ZZ) - h sum Z_i
+
+``exp(-i H dt)`` per Trotter step, so e.g. the ZZ term becomes
+``RZZ(-2*J*dt)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import CircuitError
+
+
+@dataclass(frozen=True)
+class SpinModelParams:
+    """Couplings and integration step for a spin-chain evolution."""
+
+    num_spins: int
+    dt: float = 0.1
+    jx: float = 0.0
+    jy: float = 0.0
+    jz: float = 0.0
+    field_x: float = 0.0
+    field_z: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_spins < 2:
+            raise CircuitError("spin chains need at least two spins")
+        if self.dt <= 0:
+            raise CircuitError("dt must be positive")
+
+
+def _append_trotter_step(circuit: Circuit, params: SpinModelParams) -> None:
+    n = params.num_spins
+    dt = params.dt
+    for q in range(n - 1):
+        if params.jx != 0.0:
+            circuit.rxx(-2.0 * params.jx * dt, q, q + 1)
+        if params.jy != 0.0:
+            circuit.ryy(-2.0 * params.jy * dt, q, q + 1)
+        if params.jz != 0.0:
+            circuit.rzz(-2.0 * params.jz * dt, q, q + 1)
+    for q in range(n):
+        if params.field_x != 0.0:
+            circuit.rx(-2.0 * params.field_x * dt, q)
+        if params.field_z != 0.0:
+            circuit.rz(-2.0 * params.field_z * dt, q)
+
+
+def spin_evolution(params: SpinModelParams, steps: int) -> Circuit:
+    """Circuit evolving ``|0...0>`` for ``steps`` Trotter steps."""
+    if steps < 0:
+        raise CircuitError("steps must be non-negative")
+    circuit = Circuit(params.num_spins)
+    for _ in range(steps):
+        _append_trotter_step(circuit, params)
+    return circuit
+
+
+def tfim(
+    num_spins: int,
+    steps: int,
+    j: float = 1.0,
+    h: float = 1.0,
+    dt: float = 0.1,
+) -> Circuit:
+    """Transverse-field Ising model evolution (z coupling + x field)."""
+    return spin_evolution(
+        SpinModelParams(num_spins=num_spins, dt=dt, jz=j, field_x=h), steps
+    )
+
+
+def heisenberg(
+    num_spins: int,
+    steps: int,
+    jx: float = 1.0,
+    jy: float = 1.0,
+    jz: float = 1.0,
+    h: float = 1.0,
+    dt: float = 0.1,
+) -> Circuit:
+    """Heisenberg model evolution (x, y, z couplings + z field)."""
+    return spin_evolution(
+        SpinModelParams(
+            num_spins=num_spins, dt=dt, jx=jx, jy=jy, jz=jz, field_z=h
+        ),
+        steps,
+    )
+
+
+def xy_model(
+    num_spins: int,
+    steps: int,
+    j: float = 1.0,
+    dt: float = 0.1,
+) -> Circuit:
+    """XY quantum Heisenberg model evolution (x and y couplings)."""
+    return spin_evolution(
+        SpinModelParams(num_spins=num_spins, dt=dt, jx=j, jy=j), steps
+    )

@@ -1,0 +1,49 @@
+"""Hidden linear function circuits (Bravyi, Gosset, Koenig 2018).
+
+The 2D HLF problem instance is a symmetric binary matrix ``A``; the
+constant-depth quantum circuit is ``H^n . U_q . H^n`` where ``U_q``
+applies CZ for every off-diagonal 1 in ``A`` and S for every diagonal 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import CircuitError
+
+
+def hlf(adjacency: np.ndarray) -> Circuit:
+    """Build the HLF circuit for a symmetric 0/1 matrix ``adjacency``."""
+    adjacency = np.asarray(adjacency)
+    n = adjacency.shape[0]
+    if adjacency.shape != (n, n) or not np.array_equal(adjacency, adjacency.T):
+        raise CircuitError("HLF needs a square symmetric 0/1 matrix")
+    if not np.isin(adjacency, (0, 1)).all():
+        raise CircuitError("HLF matrix entries must be 0 or 1")
+    circuit = Circuit(n)
+    for q in range(n):
+        circuit.h(q)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if adjacency[i, j]:
+                circuit.cz(i, j)
+    for q in range(n):
+        if adjacency[q, q]:
+            circuit.s(q)
+    for q in range(n):
+        circuit.h(q)
+    return circuit
+
+
+def random_hlf(
+    num_qubits: int,
+    edge_probability: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> Circuit:
+    """A random HLF instance (random symmetric adjacency matrix)."""
+    rng = np.random.default_rng(rng)
+    upper = rng.random((num_qubits, num_qubits)) < edge_probability
+    adjacency = np.triu(upper).astype(int)
+    adjacency = adjacency | adjacency.T
+    return hlf(adjacency)

@@ -1,0 +1,30 @@
+"""Circuit intermediate representation: gates, operations, circuits, QASM."""
+
+from repro.circuits.circuit import Circuit, Operation
+from repro.circuits.gates import (
+    CNOT_COST,
+    GATE_NUM_PARAMS,
+    GATE_NUM_QUBITS,
+    SELF_INVERSE_GATES,
+    TWO_QUBIT_GATES,
+    Gate,
+    gate_matrix,
+)
+from repro.circuits.qasm import circuit_from_qasm, circuit_to_qasm
+from repro.circuits.random_circuits import random_circuit, random_unitary
+
+__all__ = [
+    "Circuit",
+    "Operation",
+    "Gate",
+    "gate_matrix",
+    "GATE_NUM_PARAMS",
+    "GATE_NUM_QUBITS",
+    "TWO_QUBIT_GATES",
+    "SELF_INVERSE_GATES",
+    "CNOT_COST",
+    "circuit_to_qasm",
+    "circuit_from_qasm",
+    "random_circuit",
+    "random_unitary",
+]

@@ -1,0 +1,52 @@
+"""Random circuit generation for tests and ablation studies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+
+_ONE_QUBIT_POOL = ("h", "x", "rz", "ry", "rx", "t", "s")
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    rng: np.random.Generator | int | None = None,
+    cx_probability: float = 0.35,
+) -> Circuit:
+    """Generate a random circuit with roughly ``depth`` layers of gates.
+
+    Each step either places a CX on a random qubit pair (with probability
+    ``cx_probability``) or a random one-qubit gate; parametric gates get
+    uniformly random angles in ``[-pi, pi)``.
+    """
+    rng = np.random.default_rng(rng)
+    circuit = Circuit(num_qubits)
+    for _ in range(depth * num_qubits):
+        if num_qubits >= 2 and rng.random() < cx_probability:
+            control, target = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(control), int(target))
+        else:
+            name = str(rng.choice(_ONE_QUBIT_POOL))
+            qubit = int(rng.integers(num_qubits))
+            if name in ("rx", "ry", "rz"):
+                angle = float(rng.uniform(-np.pi, np.pi))
+                circuit.add_gate(name, qubit, (angle,))
+            else:
+                circuit.add_gate(name, qubit)
+    return circuit
+
+
+def random_unitary(dim: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Sample a Haar-random unitary of dimension ``dim``.
+
+    Uses the QR decomposition of a complex Ginibre matrix with the phase
+    correction that makes the distribution Haar.
+    """
+    rng = np.random.default_rng(rng)
+    ginibre = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(ginibre)
+    diag = np.diagonal(r)
+    q = q * (diag / np.abs(diag))
+    return q

@@ -1,0 +1,92 @@
+"""Command-line interface: QASM in, approximate QASM circuits out.
+
+Mirrors the original artifact's file-based workflow
+(``input_qasm_files`` -> partition -> synthesis -> dual annealing ->
+approximation files)::
+
+    python -m repro input.qasm --out-dir approx/ --threshold 0.2
+
+writes ``approx/approx_00.qasm``, ``approx_01.qasm``, ... plus a summary
+line per approximation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.circuits import circuit_from_qasm, circuit_to_qasm
+from repro.core import QuestConfig, run_quest
+from repro.exceptions import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QUEST: approximate a quantum circuit to reduce CNOTs.",
+    )
+    parser.add_argument("input", type=Path, help="OpenQASM 2.0 circuit file")
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=Path("quest_output"),
+        help="directory for the approximation .qasm files",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="per-block process-distance threshold (default 0.2)",
+    )
+    parser.add_argument(
+        "--max-samples", type=int, default=16, help="max approximations (M)"
+    )
+    parser.add_argument(
+        "--block-qubits", type=int, default=3, help="max qubits per block"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=30.0,
+        help="per-block synthesis budget in seconds",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        circuit = circuit_from_qasm(args.input.read_text())
+    except (OSError, ReproError) as exc:
+        print(f"error reading {args.input}: {exc}", file=sys.stderr)
+        return 2
+    config = QuestConfig(
+        seed=args.seed,
+        max_samples=args.max_samples,
+        max_block_qubits=args.block_qubits,
+        threshold_per_block=args.threshold,
+        block_time_budget=args.time_budget,
+    )
+    try:
+        result = run_quest(circuit, config)
+    except ReproError as exc:
+        print(f"QUEST failed: {exc}", file=sys.stderr)
+        return 1
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    print(result.summary())
+    for index, (approx, bound) in enumerate(
+        zip(result.circuits, result.selection.bounds)
+    ):
+        path = args.out_dir / f"approx_{index:02d}.qasm"
+        path.write_text(circuit_to_qasm(approx))
+        print(
+            f"  {path}: {approx.cnot_count()} CNOTs "
+            f"(bound {bound:.4f}, baseline {result.original_cnot_count})"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

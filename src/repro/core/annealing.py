@@ -1,0 +1,128 @@
+"""The dual-annealing selection engine (paper Sec. 3.6 "Putting it together").
+
+Selection is sequential: the first dual-annealing run (empty selected
+set) returns the feasible approximation with the lowest CNOT count; each
+subsequent run scores dissimilarity against everything selected so far.
+The loop stops at ``max_samples`` (M = 16 in the paper) or as soon as the
+engine returns an already-selected circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import dual_annealing
+
+from repro.core.objective import SelectionObjective
+from repro.exceptions import SelectionError
+
+
+@dataclass
+class SelectionResult:
+    """Chosen approximations, as integer candidate indices per block."""
+
+    choices: list[np.ndarray] = field(default_factory=list)
+    cnot_counts: list[int] = field(default_factory=list)
+    bounds: list[float] = field(default_factory=list)
+    objective_values: list[float] = field(default_factory=list)
+    annealer_runs: int = 0
+
+    @property
+    def num_selected(self) -> int:
+        """Number of selected full-circuit approximations."""
+        return len(self.choices)
+
+
+def _search_space_size(objective: SelectionObjective) -> int:
+    size = 1
+    for pool in objective.pools:
+        size *= pool.size
+        if size > 10**9:
+            break
+    return size
+
+
+def _exhaustive_minimum(objective: SelectionObjective) -> np.ndarray:
+    """Brute-force the best choice (used for tiny search spaces)."""
+    sizes = [pool.size for pool in objective.pools]
+    best_value = float("inf")
+    best_choice: np.ndarray | None = None
+    indices = np.zeros(len(sizes), dtype=int)
+    while True:
+        value = objective(indices.astype(float))
+        if value < best_value:
+            best_value = value
+            best_choice = indices.copy()
+        # Odometer increment.
+        position = 0
+        while position < len(sizes):
+            indices[position] += 1
+            if indices[position] < sizes[position]:
+                break
+            indices[position] = 0
+            position += 1
+        if position == len(sizes):
+            break
+    assert best_choice is not None
+    return best_choice
+
+
+def select_approximations(
+    objective: SelectionObjective,
+    max_samples: int = 16,
+    maxiter: int = 250,
+    seed: int | None = None,
+    exhaustive_cutoff: int = 512,
+) -> SelectionResult:
+    """Run the sequential dual-annealing selection loop.
+
+    Search spaces no larger than ``exhaustive_cutoff`` are enumerated
+    exactly instead of annealed (the annealer is a global-optimization
+    heuristic; exact enumeration is both faster and deterministic there).
+    """
+    if max_samples < 1:
+        raise SelectionError("max_samples must be positive")
+    rng = np.random.default_rng(seed)
+    result = SelectionResult()
+    objective.selected.clear()
+    use_exhaustive = _search_space_size(objective) <= exhaustive_cutoff
+    bounds = objective.bounds()
+    for _ in range(max_samples):
+        if use_exhaustive:
+            choice = _exhaustive_minimum(objective)
+        else:
+            annealed = dual_annealing(
+                objective,
+                bounds=bounds,
+                maxiter=maxiter,
+                seed=int(rng.integers(2**31 - 1)),
+                no_local_search=True,
+                # Start from the always-feasible all-original choice.
+                x0=np.full(objective.num_blocks, 0.5),
+            )
+            choice = objective.decode(annealed.x)
+        result.annealer_runs += 1
+        if objective.choice_bound(choice) > objective.threshold:
+            if result.choices:
+                break
+            # The annealer failed to land on a feasible point; the
+            # all-original choice (candidate 0 per block, distance 0) is
+            # feasible for any non-negative threshold — QUEST degrades to
+            # the Baseline rather than failing.
+            choice = np.zeros(objective.num_blocks, dtype=int)
+            if objective.choice_bound(choice) > objective.threshold:
+                raise SelectionError(
+                    "no feasible approximation under the process-distance "
+                    "threshold; raise the threshold or synthesize tighter "
+                    "blocks"
+                )
+        value = objective(choice.astype(float))
+        if any(np.array_equal(choice, prior) for prior in result.choices):
+            break  # The paper's stopping rule: a repeat ends selection.
+        result.choices.append(choice)
+        result.cnot_counts.append(objective.choice_cnot_count(choice))
+        result.bounds.append(objective.choice_bound(choice))
+        result.objective_values.append(value)
+        objective.selected.append(choice)
+    return result

@@ -1,0 +1,64 @@
+"""The Sec. 3.8 process-distance upper bound.
+
+Theorem (paper Eq. 6): for a circuit partitioned into K blocks whose
+block approximations satisfy ``d(U_k, U_k') <= eps_k``, the full-circuit
+HS distance obeys ``d(U, U') <= sum_k eps_k``.  The proof extends each
+block unitary by identity (distance preserved) and applies the
+Wang-Zhang trace inequality pairwise.
+
+``verify_bound`` computes both sides on small circuits — the Fig. 7
+experiment — and property-based tests assert the inequality holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.linalg.unitary import hs_distance
+from repro.partition.blocks import CircuitBlock, stitch_blocks
+
+
+def total_bound(block_distances: list[float]) -> float:
+    """Sum of block distances: the full-circuit distance upper bound."""
+    return float(sum(block_distances))
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """Both sides of the Sec. 3.8 inequality for one approximation."""
+
+    actual_distance: float
+    upper_bound: float
+
+    @property
+    def holds(self) -> bool:
+        """Whether the bound is respected (with float slack)."""
+        return self.actual_distance <= self.upper_bound + 1e-7
+
+    @property
+    def tightness(self) -> float:
+        """``actual / bound`` in [0, 1]; closer to 1 is tighter."""
+        if self.upper_bound == 0.0:
+            return 1.0
+        return self.actual_distance / self.upper_bound
+
+
+def verify_bound(
+    original: Circuit,
+    blocks: list[CircuitBlock],
+    approximate_blocks: list[CircuitBlock],
+) -> BoundCheck:
+    """Evaluate bound vs. actual distance for one block-approximation set.
+
+    Only feasible for circuits small enough to build the full unitary;
+    the QUEST pipeline itself never calls this (that is the point of the
+    bound), but Fig. 7 and the test suite do.
+    """
+    per_block = [
+        hs_distance(a.unitary(), b.unitary())
+        for a, b in zip(approximate_blocks, blocks)
+    ]
+    approx_full = stitch_blocks(approximate_blocks, original.num_qubits)
+    actual = hs_distance(approx_full.unitary(), original.unitary())
+    return BoundCheck(actual_distance=actual, upper_bound=total_bound(per_block))

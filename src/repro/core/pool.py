@@ -1,0 +1,156 @@
+"""Per-block approximation pools.
+
+A :class:`BlockPool` holds every candidate approximation LEAP produced
+for one block, plus the exact original block as a guaranteed-feasible
+candidate (distance zero, original CNOT count) — this is why QUEST
+"never performs worse than the Baseline" (paper Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import SelectionError
+from repro.linalg.unitary import hs_distance
+from repro.partition.blocks import CircuitBlock
+from repro.synthesis.leap import SynthesisSolution
+from repro.synthesis.sphere import sphere_variants
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One approximation of a block."""
+
+    circuit: Circuit
+    unitary: np.ndarray
+    distance: float
+    cnot_count: int
+
+
+@dataclass
+class BlockPool:
+    """All candidates for one partitioned block."""
+
+    block: CircuitBlock
+    original_unitary: np.ndarray
+    candidates: list[Candidate] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of candidates."""
+        return len(self.candidates)
+
+    def cnot_counts(self) -> np.ndarray:
+        """Vector of candidate CNOT counts."""
+        return np.array([c.cnot_count for c in self.candidates])
+
+    def distances(self) -> np.ndarray:
+        """Vector of candidate HS distances to the original block."""
+        return np.array([c.distance for c in self.candidates])
+
+
+def build_pool(
+    block: CircuitBlock,
+    solutions: list[SynthesisSolution],
+    max_candidates: int = 24,
+    distance_cap: float | None = None,
+) -> BlockPool:
+    """Assemble a pool from LEAP solutions plus the original block.
+
+    Keeps at most ``max_candidates`` synthesized circuits, preferring
+    lower CNOT counts then lower distances; candidates above
+    ``distance_cap`` (when given) are discarded up front — the analogue of
+    Algorithm 1's threshold rejection, applied per block.
+    """
+    original_unitary = block.unitary()
+    original_cnots = block.circuit.cnot_count()
+    pool = BlockPool(block=block, original_unitary=original_unitary)
+    pool.candidates.append(
+        Candidate(
+            circuit=block.circuit,
+            unitary=original_unitary,
+            distance=0.0,
+            cnot_count=original_cnots,
+        )
+    )
+    kept = 0
+    for solution in sorted(solutions, key=lambda s: (s.cnot_count, s.distance)):
+        if kept >= max_candidates:
+            break
+        if distance_cap is not None and solution.distance > distance_cap:
+            continue
+        if solution.cnot_count >= original_cnots and solution.distance > 1e-9:
+            # Longer *and* worse than the original: never useful.
+            continue
+        unitary = solution.circuit.unitary()
+        # Re-measure the distance from the concrete circuit (the optimizer
+        # cost is a lower bound on what the built circuit achieves).
+        distance = hs_distance(unitary, original_unitary)
+        duplicate = any(
+            existing.cnot_count == solution.cnot_count
+            and hs_distance(existing.unitary, unitary) < 1e-6
+            for existing in pool.candidates
+        )
+        if duplicate:
+            continue
+        pool.candidates.append(
+            Candidate(
+                circuit=solution.circuit,
+                unitary=unitary,
+                distance=distance,
+                cnot_count=solution.cnot_count,
+            )
+        )
+        kept += 1
+    if not pool.candidates:
+        raise SelectionError("empty candidate pool (internal error)")
+    return pool
+
+
+def augment_with_sphere_variants(
+    pool: BlockPool,
+    threshold: float,
+    per_count: int = 4,
+    max_counts: int = 2,
+    rng: np.random.Generator | int | None = None,
+) -> int:
+    """Add epsilon-sphere variants of the pool's best cheap candidates.
+
+    For the ``max_counts`` lowest CNOT counts that have a candidate well
+    inside the threshold, generates ``per_count`` same-structure variants
+    on the threshold sphere (see :mod:`repro.synthesis.sphere`).  These
+    are the dissimilar approximations the selection engine averages over.
+    Returns the number of candidates added.
+    """
+    rng = np.random.default_rng(rng)
+    original_cnots = pool.block.circuit.cnot_count()
+    best_by_count: dict[int, Candidate] = {}
+    for candidate in pool.candidates:
+        if candidate.cnot_count >= original_cnots:
+            continue
+        if candidate.distance >= 0.9 * threshold:
+            continue  # Too coarse: no room between it and the sphere.
+        current = best_by_count.get(candidate.cnot_count)
+        if current is None or candidate.distance < current.distance:
+            best_by_count[candidate.cnot_count] = candidate
+    added = 0
+    for cnot_count in sorted(best_by_count)[:max_counts]:
+        base = best_by_count[cnot_count]
+        for variant in sphere_variants(
+            base.circuit, pool.original_unitary, threshold,
+            count=per_count, rng=rng,
+        ):
+            unitary = variant.unitary()
+            pool.candidates.append(
+                Candidate(
+                    circuit=variant,
+                    unitary=unitary,
+                    distance=hs_distance(unitary, pool.original_unitary),
+                    cnot_count=cnot_count,
+                )
+            )
+            added += 1
+    return added

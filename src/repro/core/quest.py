@@ -1,0 +1,214 @@
+"""The end-to-end QUEST pipeline (paper Fig. 2).
+
+``run_quest(circuit, config)`` executes the three steps:
+
+1. **Partition** the (measurement-free, basis-lowered) circuit into
+   blocks of at most ``max_block_qubits`` qubits with the scan
+   partitioner.
+2. **Synthesize** an approximation pool per block with the modified LEAP
+   compiler, collecting the best circuits at every CNOT count; the
+   original block always joins its pool as the distance-zero fallback.
+3. **Select** up to M dissimilar low-CNOT full-circuit approximations
+   with the dual-annealing engine under the summed-distance threshold,
+   and stitch each selection into a runnable circuit.
+
+The result carries per-step wall times (Fig. 12) and the Sec. 3.8 bound
+of every selected approximation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.core.annealing import SelectionResult, select_approximations
+from repro.core.objective import SelectionObjective
+from repro.core.pool import BlockPool, augment_with_sphere_variants, build_pool
+from repro.exceptions import SelectionError
+from repro.partition.blocks import CircuitBlock, stitch_blocks
+from repro.partition.scan import scan_partition
+from repro.synthesis.leap import LeapConfig, synthesize
+from repro.transpile.basis import lower_to_basis
+
+
+@dataclass
+class QuestConfig:
+    """Knobs of the QUEST pipeline.
+
+    ``threshold_per_block`` implements the paper's scalability rule: the
+    full-circuit threshold grows proportionally to the number of blocks
+    (Sec. 4.1), so block pools stay shallow as circuits grow.
+    """
+
+    max_block_qubits: int = 3
+    max_samples: int = 16
+    threshold_per_block: float = 0.10
+    weight: float = 0.5
+    max_layers_per_block: int = 8
+    solutions_per_layer: int = 3
+    max_candidates_per_block: int = 24
+    instantiation_starts: int = 2
+    max_optimizer_iterations: int = 200
+    annealing_maxiter: int = 200
+    seed: int | None = None
+    #: Per-block synthesis wall-clock budget in seconds (None = unbounded).
+    block_time_budget: float | None = 30.0
+    #: Epsilon-sphere variants added per kept CNOT count (0 disables).
+    sphere_variants_per_count: int = 4
+
+
+@dataclass
+class QuestTimings:
+    """Per-step wall times (the Fig. 12 breakdown)."""
+
+    partition_seconds: float = 0.0
+    synthesis_seconds: float = 0.0
+    annealing_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total pipeline time."""
+        return (
+            self.partition_seconds
+            + self.synthesis_seconds
+            + self.annealing_seconds
+        )
+
+
+@dataclass
+class QuestResult:
+    """Everything the pipeline produced for one input circuit."""
+
+    original: Circuit
+    baseline: Circuit
+    blocks: list[CircuitBlock] = field(default_factory=list)
+    pools: list[BlockPool] = field(default_factory=list)
+    selection: SelectionResult = field(default_factory=SelectionResult)
+    circuits: list[Circuit] = field(default_factory=list)
+    threshold: float = 0.0
+    timings: QuestTimings = field(default_factory=QuestTimings)
+
+    @property
+    def original_cnot_count(self) -> int:
+        """CNOTs in the basis-lowered original circuit."""
+        return self.baseline.cnot_count()
+
+    @property
+    def cnot_counts(self) -> list[int]:
+        """CNOT count of each selected approximation."""
+        return [c.cnot_count() for c in self.circuits]
+
+    @property
+    def best_cnot_count(self) -> int:
+        """CNOTs of the cheapest selected approximation."""
+        return min(self.cnot_counts)
+
+    @property
+    def cnot_reduction(self) -> float:
+        """Mean fractional CNOT reduction across the ensemble."""
+        original = self.original_cnot_count
+        if original == 0:
+            return 0.0
+        mean_cnots = float(np.mean(self.cnot_counts))
+        return 1.0 - mean_cnots / original
+
+    def summary(self) -> str:
+        """One-line human-readable result summary."""
+        return (
+            f"{len(self.circuits)} approximations, CNOTs "
+            f"{self.original_cnot_count} -> {sorted(self.cnot_counts)} "
+            f"({100 * self.cnot_reduction:.0f}% mean reduction)"
+        )
+
+
+def _synthesize_block(
+    block: CircuitBlock, config: QuestConfig, seed: int
+) -> BlockPool:
+    original_cnots = block.circuit.cnot_count()
+    if block.num_qubits == 1 or original_cnots == 0:
+        # Nothing to approximate: the pool is just the block itself.
+        return build_pool(block, [])
+    leap_config = LeapConfig(
+        max_layers=min(config.max_layers_per_block, max(original_cnots - 1, 1)),
+        solutions_per_layer=config.solutions_per_layer,
+        instantiation_starts=config.instantiation_starts,
+        max_optimizer_iterations=config.max_optimizer_iterations,
+        seed=seed,
+        time_budget=config.block_time_budget,
+        # Threshold stopping: secondary optimizer starts halt at the
+        # per-block threshold, producing dissimilar on-sphere solutions.
+        target_distance=config.threshold_per_block,
+    )
+    report = synthesize(block.unitary(), leap_config)
+    # No single block may eat more than its per-block share of the total
+    # threshold — the per-block analogue of Algorithm 1's rejection line.
+    pool = build_pool(
+        block,
+        report.solutions,
+        max_candidates=config.max_candidates_per_block,
+        distance_cap=config.threshold_per_block,
+    )
+    if config.sphere_variants_per_count > 0:
+        augment_with_sphere_variants(
+            pool,
+            threshold=config.threshold_per_block,
+            per_count=config.sphere_variants_per_count,
+            rng=seed,
+        )
+    return pool
+
+
+def run_quest(circuit: Circuit, config: QuestConfig | None = None) -> QuestResult:
+    """Run the full QUEST pipeline on ``circuit``.
+
+    The input may contain measurements; they are stripped for synthesis
+    (approximations are measurement-free, like the paper's artifacts —
+    measurement is appended by whoever runs them).
+    """
+    config = config or QuestConfig()
+    rng = np.random.default_rng(config.seed)
+    baseline = lower_to_basis(circuit.without_measurements())
+    if baseline.cnot_count() == 0:
+        raise SelectionError("circuit has no CNOTs; nothing for QUEST to reduce")
+
+    result = QuestResult(original=circuit, baseline=baseline)
+
+    start = time.perf_counter()
+    result.blocks = scan_partition(baseline, config.max_block_qubits)
+    result.timings.partition_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result.pools = [
+        _synthesize_block(block, config, seed=int(rng.integers(2**31 - 1)))
+        for block in result.blocks
+    ]
+    result.timings.synthesis_seconds = time.perf_counter() - start
+
+    result.threshold = config.threshold_per_block * len(result.blocks)
+    objective = SelectionObjective(
+        pools=result.pools,
+        threshold=result.threshold,
+        original_cnot_count=baseline.cnot_count(),
+        weight=config.weight,
+    )
+    start = time.perf_counter()
+    result.selection = select_approximations(
+        objective,
+        max_samples=config.max_samples,
+        maxiter=config.annealing_maxiter,
+        seed=int(rng.integers(2**31 - 1)),
+    )
+    result.timings.annealing_seconds = time.perf_counter() - start
+
+    for choice in result.selection.choices:
+        chosen_blocks = [
+            pool.block.with_circuit(pool.candidates[int(index)].circuit)
+            for pool, index in zip(result.pools, choice)
+        ]
+        result.circuits.append(
+            stitch_blocks(chosen_blocks, baseline.num_qubits)
+        )
+    return result

@@ -1,0 +1,88 @@
+"""QUEST's dissimilarity criterion (paper Sec. 3.6).
+
+Two approximations ``S1, S2`` of an original ``O`` are *similar* when
+their mutual HS distance is at most the larger of their distances to the
+original::
+
+    <S1, S2>_HS <= max(<S1, O>_HS, <S2, O>_HS)
+
+geometrically: both sit in the same region of the approximation ball, so
+averaging their outputs cannot cancel their errors.  For partitioned
+circuits the full-unitary test is infeasible, so similarity of two full
+approximations is the *fraction of blocks* whose chosen candidates are
+similar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SelectionError
+from repro.linalg.unitary import hs_distance
+
+
+def are_similar(
+    mutual_distance: float, distance_a: float, distance_b: float
+) -> bool:
+    """The paper's similarity predicate on precomputed distances."""
+    return mutual_distance <= max(distance_a, distance_b)
+
+
+def unitaries_similar(
+    a: np.ndarray, b: np.ndarray, original: np.ndarray
+) -> bool:
+    """Similarity predicate evaluated directly on unitaries."""
+    return are_similar(
+        hs_distance(a, b), hs_distance(a, original), hs_distance(b, original)
+    )
+
+
+class BlockSimilarityTables:
+    """Precomputed per-block similarity lookups for the annealing objective.
+
+    For every block, stores a boolean matrix ``similar[i, j]`` over its
+    candidate approximations, so the objective's inner loop is pure table
+    lookup (the annealer calls it thousands of times).
+    """
+
+    def __init__(
+        self,
+        candidate_unitaries: list[list[np.ndarray]],
+        original_unitaries: list[np.ndarray],
+    ) -> None:
+        if len(candidate_unitaries) != len(original_unitaries):
+            raise SelectionError("one original unitary needed per block")
+        self.num_blocks = len(original_unitaries)
+        self._tables: list[np.ndarray] = []
+        for candidates, original in zip(candidate_unitaries, original_unitaries):
+            count = len(candidates)
+            if count == 0:
+                raise SelectionError("block with no candidate approximations")
+            to_original = np.array(
+                [hs_distance(c, original) for c in candidates]
+            )
+            table = np.zeros((count, count), dtype=bool)
+            for i in range(count):
+                table[i, i] = True
+                for j in range(i + 1, count):
+                    mutual = hs_distance(candidates[i], candidates[j])
+                    similar = are_similar(mutual, to_original[i], to_original[j])
+                    table[i, j] = table[j, i] = similar
+            self._tables.append(table)
+
+    def candidates_similar(self, block: int, i: int, j: int) -> bool:
+        """Whether candidates ``i`` and ``j`` of ``block`` are similar."""
+        return bool(self._tables[block][i, j])
+
+    def similarity_fraction(
+        self, choice_a: np.ndarray, choice_b: np.ndarray
+    ) -> float:
+        """Fraction of blocks whose chosen candidates are similar."""
+        if len(choice_a) != self.num_blocks or len(choice_b) != self.num_blocks:
+            raise SelectionError("choice vector length != number of blocks")
+        hits = sum(
+            1
+            for block in range(self.num_blocks)
+            if self._tables[block][int(choice_a[block]), int(choice_b[block])]
+        )
+        return hits / self.num_blocks

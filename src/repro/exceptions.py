@@ -1,0 +1,48 @@
+"""Exception hierarchy for the QUEST reproduction library.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch library failures without masking programming errors such as
+``TypeError`` raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CircuitError(ReproError):
+    """Raised for invalid circuit construction or manipulation."""
+
+
+class GateError(ReproError):
+    """Raised for invalid gate definitions or parameters."""
+
+
+class QasmError(ReproError):
+    """Raised when OpenQASM 2.0 text cannot be parsed or emitted."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator is asked for something it cannot do."""
+
+
+class NoiseModelError(ReproError):
+    """Raised for inconsistent noise-model definitions."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a transpilation pass cannot complete."""
+
+
+class PartitionError(ReproError):
+    """Raised when circuit partitioning fails or is inconsistent."""
+
+
+class SynthesisError(ReproError):
+    """Raised when numerical synthesis cannot produce a solution."""
+
+
+class SelectionError(ReproError):
+    """Raised by the QUEST approximation-selection engine."""

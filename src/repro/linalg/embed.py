@@ -1,0 +1,99 @@
+"""Tensor-network style gate application and dense embedding.
+
+These routines define the library's single source of truth for how a
+k-qubit gate acts inside an n-qubit system.  Everything else — the
+statevector simulator, the unitary simulator, the synthesis gradient code
+— goes through these functions, so the little-endian convention is
+enforced in exactly one place.
+
+Convention: basis index ``k = sum_q b_q * 2**q`` (qubit 0 is the
+least-significant bit).  A state of ``n`` qubits reshaped to ``(2,)*n``
+has axis ``a`` corresponding to qubit ``n - 1 - a``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+
+def _check_targets(qubits: tuple[int, ...], num_qubits: int) -> None:
+    if len(set(qubits)) != len(qubits):
+        raise SimulationError(f"duplicate target qubits {qubits}")
+    if any(q < 0 or q >= num_qubits for q in qubits):
+        raise SimulationError(
+            f"target qubits {qubits} out of range for {num_qubits} qubits"
+        )
+
+
+def apply_gate_to_state(
+    state: np.ndarray, gate: np.ndarray, qubits: tuple[int, ...], num_qubits: int
+) -> np.ndarray:
+    """Apply a ``2^k x 2^k`` gate to ``qubits`` of a statevector.
+
+    Returns a new array; the input is not modified.
+    """
+    _check_targets(qubits, num_qubits)
+    k = len(qubits)
+    if gate.shape != (2**k, 2**k):
+        raise SimulationError(
+            f"gate shape {gate.shape} does not match {k} target qubit(s)"
+        )
+    tensor = state.reshape((2,) * num_qubits)
+    gate_tensor = gate.reshape((2,) * (2 * k))
+    # Gate input axis k + i corresponds to gate qubit (k - 1 - i), i.e. the
+    # qubit qubits[k - 1 - i]; in the state tensor that qubit lives on axis
+    # num_qubits - 1 - qubits[k - 1 - i].
+    state_axes = [num_qubits - 1 - qubits[k - 1 - i] for i in range(k)]
+    out = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), state_axes))
+    # Output axes 0..k-1 correspond to qubits[k-1], ..., qubits[0].
+    out = np.moveaxis(out, range(k), state_axes)
+    return np.ascontiguousarray(out.reshape(state.shape))
+
+
+def apply_gate_to_matrix(
+    matrix: np.ndarray, gate: np.ndarray, qubits: tuple[int, ...], num_qubits: int
+) -> np.ndarray:
+    """Left-multiply an ``2^n x m`` matrix by the embedded gate.
+
+    Computes ``embed(gate) @ matrix`` without materializing the embedded
+    operator.  Used to accumulate circuit unitaries column-block-wise.
+    """
+    _check_targets(qubits, num_qubits)
+    k = len(qubits)
+    dim = 2**num_qubits
+    if matrix.shape[0] != dim:
+        raise SimulationError(
+            f"matrix row dimension {matrix.shape[0]} != 2**{num_qubits}"
+        )
+    cols = matrix.shape[1]
+    tensor = matrix.reshape((2,) * num_qubits + (cols,))
+    gate_tensor = gate.reshape((2,) * (2 * k))
+    row_axes = [num_qubits - 1 - qubits[k - 1 - i] for i in range(k)]
+    out = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), row_axes))
+    out = np.moveaxis(out, range(k), row_axes)
+    return np.ascontiguousarray(out.reshape(dim, cols))
+
+
+_IDENTITIES = {k: np.eye(2**k, dtype=complex) for k in range(0, 12)}
+
+
+def embed_unitary(
+    gate: np.ndarray, qubits: tuple[int, ...], num_qubits: int
+) -> np.ndarray:
+    """Return the dense ``2^n x 2^n`` embedding of a k-qubit gate.
+
+    Only used where a dense operator is genuinely needed (synthesis
+    gradients over small blocks); simulators use the apply functions.
+    One-qubit gates take the fast Kronecker path
+    ``I_high (x) G (x) I_low`` (the synthesis gradient hot loop).
+    """
+    if len(qubits) == 1 and gate.shape == (2, 2):
+        q = qubits[0]
+        _check_targets(qubits, num_qubits)
+        low = _IDENTITIES[q]
+        high = _IDENTITIES[num_qubits - 1 - q]
+        return np.kron(high, np.kron(gate, low))
+    dim = 2**num_qubits
+    return apply_gate_to_matrix(np.eye(dim, dtype=complex), gate, qubits, num_qubits)

@@ -1,0 +1,10 @@
+"""Output-distance metrics: TVD, JSD, KL, ensemble averaging."""
+
+from repro.metrics.distances import (
+    average_distributions,
+    jsd,
+    kl_divergence,
+    tvd,
+)
+
+__all__ = ["tvd", "jsd", "kl_divergence", "average_distributions"]

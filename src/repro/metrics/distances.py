@@ -1,0 +1,62 @@
+"""Output-distance metrics (paper Sec. 2).
+
+* **Total Variation Distance (TVD)**: ``0.5 * sum_k |p(k) - q(k)|``
+* **Jensen-Shannon Divergence (JSD)**: ``sqrt(0.5 * (KL(p||m) + KL(q||m)))``
+  with ``m`` the pointwise mean — i.e. the *square root* of the usual JS
+  divergence, as the paper defines it (base-2 logs, so it lies in [0, 1]).
+
+Both take dense probability vectors over the ``2^n`` outcomes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+def _validate_pair(p: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape or p.ndim != 1:
+        raise ReproError(f"distribution shapes differ: {p.shape} vs {q.shape}")
+    if np.any(p < -1e-12) or np.any(q < -1e-12):
+        raise ReproError("negative probabilities")
+    sum_p, sum_q = p.sum(), q.sum()
+    if not (np.isclose(sum_p, 1.0, atol=1e-6) and np.isclose(sum_q, 1.0, atol=1e-6)):
+        raise ReproError(
+            f"distributions must be normalized (sums {sum_p:.6f}, {sum_q:.6f})"
+        )
+    return np.clip(p, 0.0, None) / sum_p, np.clip(q, 0.0, None) / sum_q
+
+
+def tvd(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance in [0, 1]."""
+    p, q = _validate_pair(p, q)
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """Kullback-Leibler divergence ``sum p log2(p/q)`` (may be inf)."""
+    p, q = _validate_pair(p, q)
+    mask = p > 0
+    if np.any(q[mask] == 0):
+        return float("inf")
+    return float(np.sum(p[mask] * np.log2(p[mask] / q[mask])))
+
+
+def jsd(p: np.ndarray, q: np.ndarray) -> float:
+    """Jensen-Shannon distance (sqrt of the divergence), in [0, 1]."""
+    p, q = _validate_pair(p, q)
+    mean = 0.5 * (p + q)
+    divergence = 0.5 * (kl_divergence(p, mean) + kl_divergence(q, mean))
+    return float(np.sqrt(max(0.0, divergence)))
+
+
+def average_distributions(distributions: list[np.ndarray]) -> np.ndarray:
+    """Pointwise mean of a list of distributions (QUEST's ensemble output)."""
+    if not distributions:
+        raise ReproError("cannot average an empty list of distributions")
+    stacked = np.stack([np.asarray(d, dtype=float) for d in distributions])
+    mean = stacked.mean(axis=0)
+    return mean / mean.sum()

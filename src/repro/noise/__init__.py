@@ -1,0 +1,51 @@
+"""Noise substrate: Pauli models, fake backends, noisy simulators."""
+
+from repro.noise.backends import (
+    Backend,
+    all_to_all_coupling,
+    fake_manila,
+    ideal_backend,
+    linear_backend,
+    linear_coupling,
+)
+from repro.noise.density import MAX_DENSITY_QUBITS, run_density
+from repro.noise.model import (
+    ONE_QUBIT_PAULIS,
+    TWO_QUBIT_PAULIS,
+    NoiseModel,
+    apply_readout_error,
+    pauli_matrix,
+    readout_confusion,
+)
+from repro.noise.trajectories import run_trajectories
+
+
+def noisy_distribution(circuit, noise, trajectories=1000, rng=None):
+    """Noisy output distribution via the best available engine.
+
+    Uses the exact density-matrix simulator up to its qubit cap and falls
+    back to Monte-Carlo Pauli trajectories beyond it.
+    """
+    if circuit.num_qubits <= MAX_DENSITY_QUBITS:
+        return run_density(circuit, noise)
+    return run_trajectories(circuit, noise, trajectories=trajectories, rng=rng)
+
+
+__all__ = [
+    "NoiseModel",
+    "pauli_matrix",
+    "readout_confusion",
+    "apply_readout_error",
+    "ONE_QUBIT_PAULIS",
+    "TWO_QUBIT_PAULIS",
+    "run_density",
+    "run_trajectories",
+    "noisy_distribution",
+    "MAX_DENSITY_QUBITS",
+    "Backend",
+    "fake_manila",
+    "linear_backend",
+    "ideal_backend",
+    "linear_coupling",
+    "all_to_all_coupling",
+]

@@ -1,0 +1,6 @@
+"""Circuit partitioning: scan partitioner and block stitching."""
+
+from repro.partition.blocks import CircuitBlock, stitch_blocks
+from repro.partition.scan import scan_partition
+
+__all__ = ["CircuitBlock", "stitch_blocks", "scan_partition"]

@@ -1,0 +1,82 @@
+"""Circuit blocks: the unit of partitioned synthesis.
+
+A :class:`CircuitBlock` holds a sub-circuit expressed over *local* qubit
+indices ``0..k-1`` together with the tuple of global qubits it acts on.
+QUEST synthesizes approximations per block and stitches chosen
+approximations back into a full circuit (paper Sec. 3.3/3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import PartitionError
+
+
+@dataclass(frozen=True)
+class CircuitBlock:
+    """A contiguous-in-order slice of a circuit on a few qubits.
+
+    Attributes
+    ----------
+    index:
+        Position of the block in the partition's topological order.
+    qubits:
+        Sorted global qubit indices the block acts on.
+    circuit:
+        The block's operations over local indices (``qubits[i] -> i``).
+    """
+
+    index: int
+    qubits: tuple[int, ...]
+    circuit: Circuit
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.qubits)) != self.qubits:
+            raise PartitionError(f"block qubits must be sorted, got {self.qubits}")
+        if self.circuit.num_qubits != len(self.qubits):
+            raise PartitionError(
+                f"block circuit width {self.circuit.num_qubits} != "
+                f"{len(self.qubits)} qubits"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        """Width of the block."""
+        return len(self.qubits)
+
+    def unitary(self) -> np.ndarray:
+        """Local unitary of the block (``2^k x 2^k``)."""
+        return self.circuit.unitary()
+
+    def to_global(self, num_qubits: int) -> Circuit:
+        """Remap the block circuit onto global qubit indices."""
+        mapping = {local: global_q for local, global_q in enumerate(self.qubits)}
+        return self.circuit.remap(mapping, num_qubits=num_qubits)
+
+    def with_circuit(self, circuit: Circuit) -> "CircuitBlock":
+        """Return a copy whose local circuit is replaced (same qubits)."""
+        if circuit.num_qubits != len(self.qubits):
+            raise PartitionError(
+                f"replacement circuit width {circuit.num_qubits} != "
+                f"{len(self.qubits)}"
+            )
+        return replace(self, circuit=circuit)
+
+
+def stitch_blocks(
+    blocks: list[CircuitBlock], num_qubits: int
+) -> Circuit:
+    """Concatenate blocks (in index order) into a full-width circuit."""
+    ordered = sorted(blocks, key=lambda b: b.index)
+    if [b.index for b in ordered] != list(range(len(ordered))):
+        raise PartitionError(
+            "blocks do not form a contiguous 0..K-1 topological order"
+        )
+    full = Circuit(num_qubits)
+    for block in ordered:
+        full.extend(block.to_global(num_qubits).operations)
+    return full

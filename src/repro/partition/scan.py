@@ -1,0 +1,80 @@
+"""The scan partitioner (paper Sec. 4.1, after BQSKit's ScanPartitioner).
+
+A single front-to-back pass over the circuit assigns every operation to a
+block of at most ``max_block_qubits`` qubits.  Correctness invariant: for
+every qubit, the block indices of its operations are non-decreasing in
+circuit order, so concatenating blocks in index order reproduces the
+original operator product exactly (operations on disjoint qubits commute;
+operations sharing a qubit keep their order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import Circuit, Operation
+from repro.exceptions import PartitionError
+from repro.partition.blocks import CircuitBlock
+
+
+@dataclass
+class _OpenBlock:
+    qubits: set[int] = field(default_factory=set)
+    operations: list[Operation] = field(default_factory=list)
+
+
+def scan_partition(
+    circuit: Circuit, max_block_qubits: int = 3
+) -> list[CircuitBlock]:
+    """Partition ``circuit`` into blocks of at most ``max_block_qubits``.
+
+    Measurements and barriers must be stripped first (QUEST partitions the
+    unitary part of the circuit only).  Returns blocks in topological
+    order; stitching them back yields a circuit equivalent to the input.
+    """
+    if max_block_qubits < 2:
+        raise PartitionError("blocks need at least 2 qubits to hold CNOTs")
+    if circuit.has_measurements():
+        raise PartitionError(
+            "strip measurements before partitioning (without_measurements())"
+        )
+
+    open_blocks: list[_OpenBlock] = []
+    last_block: dict[int, int] = {q: -1 for q in range(circuit.num_qubits)}
+    for op in circuit.operations:
+        if op.name == "barrier":
+            continue
+        qubits = set(op.qubits)
+        if len(qubits) > max_block_qubits:
+            raise PartitionError(
+                f"operation on {len(qubits)} qubits exceeds the block size "
+                f"{max_block_qubits}"
+            )
+        earliest = max(last_block[q] for q in op.qubits)
+        target_index: int | None = None
+        for index in range(max(earliest, 0), len(open_blocks)):
+            if index < earliest:
+                continue
+            block = open_blocks[index]
+            if len(block.qubits | qubits) <= max_block_qubits:
+                target_index = index
+                break
+        if target_index is None:
+            open_blocks.append(_OpenBlock())
+            target_index = len(open_blocks) - 1
+        open_blocks[target_index].qubits |= qubits
+        open_blocks[target_index].operations.append(op)
+        for q in op.qubits:
+            last_block[q] = target_index
+
+    blocks: list[CircuitBlock] = []
+    for index, open_block in enumerate(open_blocks):
+        sorted_qubits = tuple(sorted(open_block.qubits))
+        local_index = {q: i for i, q in enumerate(sorted_qubits)}
+        local = Circuit(len(sorted_qubits))
+        for op in open_block.operations:
+            local.append(
+                Operation(op.gate, tuple(local_index[q] for q in op.qubits))
+            )
+        blocks.append(CircuitBlock(index=index, qubits=sorted_qubits, circuit=local))
+    return blocks

@@ -1,0 +1,70 @@
+"""Observable expectations and the shot-sampling experiment protocol.
+
+The paper's experiments run 8192 shots per circuit and derive
+algorithm-specific observables (magnetization) from the measured
+distribution.  These helpers provide that protocol for any diagonal
+(Z-basis) observable: exact expectations from a distribution, and a
+finite-shot estimate that models the sampling error real experiments
+carry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import SimulationError
+from repro.sim.statevector import (
+    counts_to_distribution,
+    ideal_distribution,
+    sample_counts,
+)
+
+#: The paper's per-experiment shot budget ("maximum allowed" on IBMQ).
+DEFAULT_SHOTS = 8192
+
+
+def z_string_expectation(probs: np.ndarray, qubits: tuple[int, ...]) -> float:
+    """Expectation of ``Z_{q1} Z_{q2} ...`` under a Z-basis distribution.
+
+    Each basis state contributes ``(-1)^(parity of the selected bits)``.
+    """
+    probs = np.asarray(probs, dtype=float)
+    dim = len(probs)
+    num_qubits = int(np.log2(dim))
+    if 2**num_qubits != dim:
+        raise SimulationError(f"distribution length {dim} not a power of 2")
+    if any(q < 0 or q >= num_qubits for q in qubits):
+        raise SimulationError(f"qubits {qubits} out of range for {num_qubits}")
+    states = np.arange(dim)
+    parity = np.zeros(dim, dtype=int)
+    for q in qubits:
+        parity ^= (states >> q) & 1
+    signs = 1.0 - 2.0 * parity
+    return float(probs @ signs)
+
+
+def diagonal_expectation(probs: np.ndarray, diagonal: np.ndarray) -> float:
+    """Expectation of an arbitrary diagonal observable."""
+    probs = np.asarray(probs, dtype=float)
+    diagonal = np.asarray(diagonal, dtype=float)
+    if probs.shape != diagonal.shape:
+        raise SimulationError(
+            f"shape mismatch: {probs.shape} vs {diagonal.shape}"
+        )
+    return float(probs @ diagonal)
+
+
+def sampled_distribution(
+    circuit: Circuit,
+    shots: int = DEFAULT_SHOTS,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Finite-shot estimate of the ideal output distribution.
+
+    Mirrors the paper's experimental protocol: evolve, sample ``shots``
+    outcomes, histogram.  Statistical error scales as ``1/sqrt(shots)``.
+    """
+    probs = ideal_distribution(circuit)
+    counts = sample_counts(probs, shots=shots, rng=rng)
+    return counts_to_distribution(counts, len(probs))

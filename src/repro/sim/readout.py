@@ -1,0 +1,69 @@
+"""Mapping physical-order distributions to classical-bit order.
+
+After routing, a logical qubit may end up on a different physical qubit;
+the transpiler records this by re-targeting measure operations
+(``measure q[phys] -> c[logical]``).  Simulators in this library always
+return distributions over *physical* qubit order, so these helpers apply
+the measure mapping to recover the logical distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import SimulationError
+
+
+def measurement_map(circuit: Circuit) -> dict[int, int]:
+    """Extract the ``cbit -> qubit`` map from a circuit's measure ops.
+
+    Raises :class:`SimulationError` if a classical bit is written twice.
+    """
+    mapping: dict[int, int] = {}
+    for op in circuit.operations:
+        if op.name != "measure":
+            continue
+        if op.cbit in mapping:
+            raise SimulationError(f"classical bit {op.cbit} measured twice")
+        mapping[op.cbit] = op.qubits[0]
+    return mapping
+
+
+def distribution_over_cbits(
+    probs: np.ndarray, num_qubits: int, cbit_to_qubit: dict[int, int]
+) -> np.ndarray:
+    """Permute/marginalize a physical distribution into cbit order.
+
+    ``cbit_to_qubit`` must cover cbits ``0..m-1``; unmeasured qubits are
+    summed out.
+    """
+    m = len(cbit_to_qubit)
+    if sorted(cbit_to_qubit) != list(range(m)):
+        raise SimulationError(
+            f"classical bits must be 0..{m - 1}, got {sorted(cbit_to_qubit)}"
+        )
+    qubits = list(cbit_to_qubit.values())
+    if len(set(qubits)) != m:
+        raise SimulationError("two classical bits read the same qubit")
+    tensor = np.asarray(probs).reshape((2,) * num_qubits)
+    # Output axis i corresponds to cbit m-1-i (most significant first);
+    # physical qubit q lives on input axis num_qubits-1-q.
+    leading = [num_qubits - 1 - cbit_to_qubit[c] for c in range(m - 1, -1, -1)]
+    rest = [a for a in range(num_qubits) if a not in leading]
+    tensor = np.transpose(tensor, leading + rest)
+    return tensor.reshape(2**m, -1).sum(axis=1)
+
+
+def logical_distribution(circuit: Circuit, physical_probs: np.ndarray) -> np.ndarray:
+    """Apply the circuit's measure mapping to a physical distribution.
+
+    Circuits without measurements are returned unchanged (physical order
+    is already logical order).
+    """
+    mapping = measurement_map(circuit)
+    if not mapping:
+        return np.asarray(physical_probs)
+    return distribution_over_cbits(
+        physical_probs, circuit.num_qubits, mapping
+    )

@@ -1,0 +1,92 @@
+"""Ideal statevector simulation.
+
+Provides the "ground truth" path of the paper's evaluation: circuits are
+evolved exactly and the output probability distribution (Born rule) is
+either returned analytically or sampled shot-by-shot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import SimulationError
+from repro.linalg.embed import apply_gate_to_state
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """Return the ``|0...0>`` statevector of ``num_qubits`` qubits."""
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def run_statevector(
+    circuit: Circuit, initial_state: np.ndarray | None = None
+) -> np.ndarray:
+    """Evolve a statevector through the circuit's unitary operations.
+
+    Measurements and barriers are ignored (the full pre-measurement state
+    is returned); use :func:`probabilities` or :func:`sample_counts` to
+    model the readout.
+    """
+    num_qubits = circuit.num_qubits
+    if initial_state is None:
+        state = zero_state(num_qubits)
+    else:
+        state = np.asarray(initial_state, dtype=complex).copy()
+        if state.shape != (2**num_qubits,):
+            raise SimulationError(
+                f"initial state has shape {state.shape}, "
+                f"expected ({2**num_qubits},)"
+            )
+    for op in circuit.operations:
+        if op.name in ("measure", "barrier"):
+            continue
+        state = apply_gate_to_state(state, op.gate.matrix(), op.qubits, num_qubits)
+    return state
+
+
+def probabilities(state: np.ndarray) -> np.ndarray:
+    """Born-rule outcome probabilities of a statevector."""
+    probs = np.abs(state) ** 2
+    total = probs.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise SimulationError(f"state is not normalized (sum={total})")
+    return probs / total
+
+
+def ideal_distribution(circuit: Circuit) -> np.ndarray:
+    """Exact output distribution of ``circuit`` starting from ``|0...0>``."""
+    return probabilities(run_statevector(circuit.without_measurements()))
+
+
+def sample_counts(
+    probs: np.ndarray,
+    shots: int,
+    rng: np.random.Generator | int | None = None,
+) -> dict[int, int]:
+    """Sample ``shots`` measurement outcomes from a distribution.
+
+    Returns a sparse ``{basis_index: count}`` histogram, mirroring the
+    8192-shot experiments in the paper.
+    """
+    if shots < 1:
+        raise SimulationError("shots must be positive")
+    rng = np.random.default_rng(rng)
+    outcomes = rng.choice(len(probs), size=shots, p=probs / probs.sum())
+    values, counts = np.unique(outcomes, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def counts_to_distribution(counts: dict[int, int], dim: int) -> np.ndarray:
+    """Convert a counts histogram into a dense probability vector."""
+    probs = np.zeros(dim)
+    total = sum(counts.values())
+    if total == 0:
+        raise SimulationError("empty counts histogram")
+    for index, count in counts.items():
+        if index < 0 or index >= dim:
+            raise SimulationError(f"outcome {index} out of range for dim {dim}")
+        probs[index] = count / total
+    return probs

@@ -1,0 +1,40 @@
+"""Full-circuit unitary computation (the "Qiskit unitary simulator" role).
+
+Accumulates ``U = U_K ... U_1`` by contracting each gate into a running
+``2^n x 2^n`` matrix — no gate is ever embedded into a dense full-width
+operator on its own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import SimulationError
+from repro.linalg.embed import apply_gate_to_matrix
+
+#: Widths beyond this are refused: the dense unitary would not fit and the
+#: paper itself declares full-unitary treatment infeasible at this scale.
+MAX_UNITARY_QUBITS = 14
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Compute the dense unitary of a measurement-free circuit."""
+    if circuit.num_qubits > MAX_UNITARY_QUBITS:
+        raise SimulationError(
+            f"refusing to build a dense unitary for {circuit.num_qubits} "
+            f"qubits (max {MAX_UNITARY_QUBITS}); partition the circuit instead"
+        )
+    if circuit.has_measurements():
+        raise SimulationError(
+            "circuit contains measurements; call without_measurements() first"
+        )
+    dim = 2**circuit.num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for op in circuit.operations:
+        if op.name == "barrier":
+            continue
+        unitary = apply_gate_to_matrix(
+            unitary, op.gate.matrix(), op.qubits, circuit.num_qubits
+        )
+    return unitary

@@ -1,0 +1,161 @@
+"""Basis translation: lower every gate to one-qubit rotations plus CX.
+
+This is the first stage of the Qiskit-like pipeline and also defines the
+CNOT accounting used throughout the evaluation: after lowering, the CNOT
+count of a circuit is simply its number of ``cx`` operations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Circuit, Operation
+from repro.circuits.gates import Gate
+from repro.exceptions import TranspilerError
+
+#: Gates already in the {1q rotation, CX} basis.
+_NATIVE = frozenset({"cx", "rx", "ry", "rz", "p", "measure", "barrier"})
+
+
+def _lower_fixed_1q(circuit: Circuit, name: str, qubit: int) -> None:
+    # All rules below are exact up to a global phase, which every metric in
+    # this library (HS distance, output distributions) is invariant to.
+    half_pi = math.pi / 2.0
+    if name == "id":
+        return
+    if name == "x":
+        circuit.rx(math.pi, qubit)
+    elif name == "y":
+        circuit.ry(math.pi, qubit)
+    elif name == "z":
+        circuit.rz(math.pi, qubit)
+    elif name == "h":
+        circuit.rz(math.pi, qubit)
+        circuit.ry(half_pi, qubit)
+    elif name == "s":
+        circuit.p(half_pi, qubit)
+    elif name == "sdg":
+        circuit.p(-half_pi, qubit)
+    elif name == "t":
+        circuit.p(math.pi / 4.0, qubit)
+    elif name == "tdg":
+        circuit.p(-math.pi / 4.0, qubit)
+    elif name == "sx":
+        circuit.rx(half_pi, qubit)
+    else:  # pragma: no cover - exhaustive over the gate set
+        raise TranspilerError(f"no lowering rule for {name!r}")
+
+
+def _lower_op(circuit: Circuit, op: Operation) -> None:
+    name = op.name
+    if name in _NATIVE:
+        if name == "measure":
+            circuit.measure(op.qubits[0], op.cbit)
+        elif name == "barrier":
+            circuit.barrier()
+        else:
+            circuit.append(op)
+        return
+    if name == "u1":
+        circuit.p(op.params[0], op.qubits[0])
+        return
+    if name in ("u3", "u"):
+        theta, phi, lam = op.params
+        qubit = op.qubits[0]
+        circuit.rz(lam, qubit)
+        circuit.ry(theta, qubit)
+        circuit.rz(phi, qubit)
+        return
+    if name == "u2":
+        phi, lam = op.params
+        qubit = op.qubits[0]
+        circuit.rz(lam, qubit)
+        circuit.ry(math.pi / 2.0, qubit)
+        circuit.rz(phi, qubit)
+        return
+    if len(op.qubits) == 1:
+        _lower_fixed_1q(circuit, name, op.qubits[0])
+        return
+    if name == "cz":
+        control, target = op.qubits
+        _lower_fixed_1q(circuit, "h", target)
+        circuit.cx(control, target)
+        _lower_fixed_1q(circuit, "h", target)
+        return
+    if name == "swap":
+        q0, q1 = op.qubits
+        circuit.cx(q0, q1)
+        circuit.cx(q1, q0)
+        circuit.cx(q0, q1)
+        return
+    if name == "rzz":
+        (theta,) = op.params
+        q0, q1 = op.qubits
+        circuit.cx(q0, q1)
+        circuit.rz(theta, q1)
+        circuit.cx(q0, q1)
+        return
+    if name == "rxx":
+        (theta,) = op.params
+        q0, q1 = op.qubits
+        for q in (q0, q1):
+            _lower_fixed_1q(circuit, "h", q)
+        circuit.cx(q0, q1)
+        circuit.rz(theta, q1)
+        circuit.cx(q0, q1)
+        for q in (q0, q1):
+            _lower_fixed_1q(circuit, "h", q)
+        return
+    if name == "ryy":
+        (theta,) = op.params
+        q0, q1 = op.qubits
+        for q in (q0, q1):
+            circuit.rx(math.pi / 2.0, q)
+        circuit.cx(q0, q1)
+        circuit.rz(theta, q1)
+        circuit.cx(q0, q1)
+        for q in (q0, q1):
+            circuit.rx(-math.pi / 2.0, q)
+        return
+    if name == "cp":
+        (lam,) = op.params
+        control, target = op.qubits
+        circuit.p(lam / 2.0, control)
+        circuit.cx(control, target)
+        circuit.p(-lam / 2.0, target)
+        circuit.cx(control, target)
+        circuit.p(lam / 2.0, target)
+        return
+    if name == "ccx":
+        c1, c2, t = op.qubits
+        _lower_fixed_1q(circuit, "h", t)
+        circuit.cx(c2, t)
+        circuit.p(-math.pi / 4.0, t)
+        circuit.cx(c1, t)
+        circuit.p(math.pi / 4.0, t)
+        circuit.cx(c2, t)
+        circuit.p(-math.pi / 4.0, t)
+        circuit.cx(c1, t)
+        circuit.p(math.pi / 4.0, c2)
+        circuit.p(math.pi / 4.0, t)
+        _lower_fixed_1q(circuit, "h", t)
+        circuit.cx(c1, c2)
+        circuit.p(math.pi / 4.0, c1)
+        circuit.p(-math.pi / 4.0, c2)
+        circuit.cx(c1, c2)
+        return
+    if name == "cswap":
+        control, x, y = op.qubits
+        circuit.cx(y, x)
+        _lower_op(circuit, Operation(Gate("ccx"), (control, x, y)))
+        circuit.cx(y, x)
+        return
+    raise TranspilerError(f"no lowering rule for gate {name!r}")
+
+
+def lower_to_basis(circuit: Circuit) -> Circuit:
+    """Rewrite ``circuit`` using only RX/RY/RZ/P and CX (plus pseudo-ops)."""
+    lowered = Circuit(circuit.num_qubits)
+    for op in circuit.operations:
+        _lower_op(lowered, op)
+    return lowered

@@ -1,0 +1,74 @@
+"""Interaction-aware initial layout (optional pass).
+
+The paper's related work covers layout-aware mapping: picking which
+physical qubit hosts each logical qubit before routing.  This pass ranks
+logical qubits by how many two-qubit interactions they carry and assigns
+them to physical qubits in decreasing connectivity order, so the busiest
+logical qubits sit where the device has the most neighbours — fewer
+SWAPs on non-linear topologies, and a deterministic, explainable layout
+on linear ones.
+
+The default :func:`repro.transpile.pipeline.transpile` keeps the trivial
+layout; pass the result of :func:`interaction_layout` through
+``Circuit.remap`` to opt in (see ``tests/test_layout.py``).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import TranspilerError
+from repro.noise.backends import Backend
+
+
+def interaction_counts(circuit: Circuit) -> dict[int, int]:
+    """Number of two-qubit interactions each qubit participates in."""
+    counts = {q: 0 for q in range(circuit.num_qubits)}
+    for op in circuit.operations:
+        if len(op.qubits) >= 2:
+            for q in op.qubits:
+                counts[q] += 1
+    return counts
+
+
+def interaction_layout(circuit: Circuit, backend: Backend) -> dict[int, int]:
+    """Map logical to physical qubits, busiest-to-best-connected.
+
+    Returns a ``{logical: physical}`` dict covering every logical qubit.
+    Raises :class:`TranspilerError` if the device is too small.
+    """
+    if circuit.num_qubits > backend.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {circuit.num_qubits} qubits; backend "
+            f"{backend.name} has {backend.num_qubits}"
+        )
+    graph = nx.Graph()
+    graph.add_nodes_from(range(backend.num_qubits))
+    graph.add_edges_from(backend.coupling_map)
+    # Physical qubits by decreasing degree; ties broken by centrality
+    # (distance sum), so chain middles beat chain ends.
+    def centrality(node: int) -> float:
+        lengths = nx.single_source_shortest_path_length(graph, node)
+        return -sum(lengths.values())
+
+    physical_order = sorted(
+        graph.nodes, key=lambda n: (graph.degree[n], centrality(n)), reverse=True
+    )
+    counts = interaction_counts(circuit)
+    logical_order = sorted(
+        range(circuit.num_qubits), key=lambda q: counts[q], reverse=True
+    )
+    return {
+        logical: physical_order[rank]
+        for rank, logical in enumerate(logical_order)
+    }
+
+
+def apply_layout(circuit: Circuit, layout: dict[int, int], num_physical: int) -> Circuit:
+    """Remap a circuit onto physical qubits according to ``layout``."""
+    if sorted(layout) != list(range(circuit.num_qubits)):
+        raise TranspilerError("layout must cover every logical qubit")
+    if len(set(layout.values())) != len(layout):
+        raise TranspilerError("layout maps two logical qubits to one physical")
+    return circuit.remap(dict(layout), num_qubits=num_physical)

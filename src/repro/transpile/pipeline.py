@@ -1,0 +1,120 @@
+"""The end-to-end transpiler pipeline (the paper's "Qiskit" baseline).
+
+``transpile(circuit, backend, optimization_level)`` mirrors the Qiskit
+stage order the paper relies on:
+
+1. basis translation to {RX/RY/RZ/P, CX},
+2. peephole optimization to a fixed point (1q merge + commutation-aware
+   CX cancellation), plus 2-qubit consolidation at level 3,
+3. swap routing to the backend topology (if constrained),
+4. a final optimization sweep over the routed circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import TranspilerError
+from repro.noise.backends import Backend
+from repro.transpile.basis import lower_to_basis
+from repro.transpile.passes import (
+    cancel_adjacent_cx,
+    consolidate_two_qubit_runs,
+    merge_one_qubit_gates,
+    remove_identity_rotations,
+)
+from repro.transpile.routing import route_to_coupling
+
+
+@dataclass
+class TranspileResult:
+    """Output of :func:`transpile`.
+
+    ``final_layout`` maps logical to physical qubits; measurements inside
+    ``circuit`` already encode it, so
+    :func:`repro.sim.readout.logical_distribution` recovers logical-order
+    outputs without consulting the layout directly.
+    """
+
+    circuit: Circuit
+    final_layout: dict[int, int] = field(default_factory=dict)
+    swaps_inserted: int = 0
+
+    @property
+    def cnot_count(self) -> int:
+        """CNOT count of the transpiled circuit."""
+        return self.circuit.cnot_count()
+
+
+def _optimize(circuit: Circuit, level: int, rng) -> Circuit:
+    if level < 1:
+        return circuit
+    previous_cnots = None
+    current = circuit
+    # Iterate the cheap passes to a fixed point (bounded for safety).
+    for _ in range(8):
+        current = merge_one_qubit_gates(current)
+        current = cancel_adjacent_cx(current)
+        current = remove_identity_rotations(current)
+        cnots = current.cnot_count()
+        if cnots == previous_cnots:
+            break
+        previous_cnots = cnots
+    if level >= 3:
+        current = consolidate_two_qubit_runs(current, rng=rng)
+        current = merge_one_qubit_gates(current)
+        current = remove_identity_rotations(current)
+    return current
+
+
+def transpile(
+    circuit: Circuit,
+    backend: Backend | None = None,
+    optimization_level: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> TranspileResult:
+    """Compile ``circuit`` for ``backend`` at the given optimization level.
+
+    With no backend (or a fully connected one) routing is skipped and the
+    result stays on logical qubits.  Levels follow Qiskit's convention:
+    0 = basis translation only, 1/2 = peephole passes, 3 = adds two-qubit
+    consolidation (KAK resynthesis).
+    """
+    if optimization_level not in (0, 1, 2, 3):
+        raise TranspilerError(f"bad optimization level {optimization_level}")
+    rng = np.random.default_rng(rng)
+    lowered = lower_to_basis(circuit)
+    optimized = _optimize(lowered, optimization_level, rng)
+
+    needs_routing = backend is not None and not backend.is_fully_connected
+    if not needs_routing:
+        width = backend.num_qubits if backend is not None else circuit.num_qubits
+        if backend is not None and circuit.num_qubits > backend.num_qubits:
+            raise TranspilerError(
+                f"circuit needs {circuit.num_qubits} qubits; backend has "
+                f"{backend.num_qubits}"
+            )
+        final = optimized
+        if width != final.num_qubits:
+            final = final.remap(
+                {q: q for q in range(final.num_qubits)}, num_qubits=width
+            )
+        return TranspileResult(
+            circuit=final,
+            final_layout={q: q for q in range(circuit.num_qubits)},
+            swaps_inserted=0,
+        )
+
+    routed = route_to_coupling(
+        optimized, backend.coupling_map, num_physical=backend.num_qubits
+    )
+    relowered = lower_to_basis(routed.circuit)
+    final = _optimize(relowered, optimization_level, rng)
+    return TranspileResult(
+        circuit=final,
+        final_layout=routed.final_layout,
+        swaps_inserted=routed.swaps_inserted,
+    )

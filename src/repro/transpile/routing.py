@@ -1,0 +1,97 @@
+"""Swap routing onto constrained topologies (layout-aware mapping).
+
+A greedy shortest-path router: every two-qubit gate whose logical qubits
+sit on non-adjacent physical qubits is preceded by SWAPs that walk one
+operand along the shortest path.  Measurements are re-targeted through the
+final layout so the classical bit order stays logical — downstream
+distribution helpers rely on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.circuits.circuit import Circuit, Operation
+from repro.exceptions import TranspilerError
+
+
+@dataclass
+class RoutingResult:
+    """A routed circuit plus the logical-to-physical layout history."""
+
+    circuit: Circuit
+    final_layout: dict[int, int] = field(default_factory=dict)
+    swaps_inserted: int = 0
+
+
+def route_to_coupling(
+    circuit: Circuit,
+    coupling_map: tuple[tuple[int, int], ...],
+    num_physical: int | None = None,
+) -> RoutingResult:
+    """Map ``circuit`` onto the device graph with greedy SWAP insertion."""
+    num_physical = num_physical or circuit.num_qubits
+    if circuit.num_qubits > num_physical:
+        raise TranspilerError(
+            f"circuit needs {circuit.num_qubits} qubits; device has "
+            f"{num_physical}"
+        )
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_physical))
+    graph.add_edges_from(coupling_map)
+    if not nx.is_connected(graph):
+        raise TranspilerError("coupling graph is not connected")
+
+    logical_to_physical = {q: q for q in range(circuit.num_qubits)}
+    physical_to_logical = {q: q for q in range(circuit.num_qubits)}
+    out = Circuit(num_physical)
+    swaps = 0
+
+    def apply_swap(phys_a: int, phys_b: int) -> None:
+        nonlocal swaps
+        out.swap(phys_a, phys_b)
+        swaps += 1
+        log_a = physical_to_logical.get(phys_a)
+        log_b = physical_to_logical.get(phys_b)
+        if log_a is not None:
+            logical_to_physical[log_a] = phys_b
+        if log_b is not None:
+            logical_to_physical[log_b] = phys_a
+        physical_to_logical[phys_a], physical_to_logical[phys_b] = (
+            log_b,
+            log_a,
+        )
+
+    for op in circuit.operations:
+        if op.name == "barrier":
+            out.barrier()
+            continue
+        if op.name == "measure":
+            out.measure(logical_to_physical[op.qubits[0]], op.cbit)
+            continue
+        if len(op.qubits) == 1:
+            out.append(
+                Operation(op.gate, (logical_to_physical[op.qubits[0]],))
+            )
+            continue
+        if len(op.qubits) > 2:
+            raise TranspilerError(
+                "lower 3+ qubit gates to the CX basis before routing"
+            )
+        phys_a = logical_to_physical[op.qubits[0]]
+        phys_b = logical_to_physical[op.qubits[1]]
+        path = nx.shortest_path(graph, phys_a, phys_b)
+        # Walk the first operand down the path until adjacent.
+        while len(path) > 2:
+            apply_swap(path[0], path[1])
+            path = path[1:]
+        phys_a = logical_to_physical[op.qubits[0]]
+        phys_b = logical_to_physical[op.qubits[1]]
+        out.append(Operation(op.gate, (phys_a, phys_b)))
+    return RoutingResult(
+        circuit=out,
+        final_layout=dict(logical_to_physical),
+        swaps_inserted=swaps,
+    )

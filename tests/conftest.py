@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def bell_circuit() -> Circuit:
+    """The 2-qubit Bell-pair preparation circuit."""
+    circuit = Circuit(2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+@pytest.fixture
+def ghz3_circuit() -> Circuit:
+    """The 3-qubit GHZ preparation circuit."""
+    circuit = Circuit(3)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    return circuit
+
+
+@pytest.fixture
+def small_entangled_circuit() -> Circuit:
+    """A 3-qubit circuit with rotations and several CNOTs."""
+    circuit = Circuit(3)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.rz(0.4, 1)
+    circuit.cx(1, 2)
+    circuit.ry(0.9, 2)
+    circuit.cx(0, 1)
+    circuit.rx(0.3, 0)
+    return circuit

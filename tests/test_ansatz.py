@@ -1,0 +1,89 @@
+"""Tests for synthesis templates and their analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_unitary
+from repro.exceptions import SynthesisError
+from repro.synthesis import Ansatz, Slot, all_placements, build_leap_ansatz
+from repro.synthesis.instantiate import _cost_and_gradient
+
+
+def test_build_structure():
+    ansatz = build_leap_ansatz(2, [(0, 1)], layer_rotations=("ry", "rz"))
+    # Initial ZYZ on 2 qubits (6 params) + 1 CNOT + 2x2 rotations.
+    assert ansatz.num_params == 6 + 4
+    assert ansatz.cnot_count == 1
+
+
+def test_build_circuit_binds_params(rng):
+    ansatz = build_leap_ansatz(2, [(0, 1)])
+    params = rng.uniform(-np.pi, np.pi, ansatz.num_params)
+    circuit = ansatz.build_circuit(params)
+    assert circuit.cnot_count() == 1
+    rotation_params = [
+        op.params[0] for op in circuit.operations if op.params
+    ]
+    assert rotation_params == pytest.approx(list(params))
+
+
+def test_build_circuit_checks_length():
+    ansatz = build_leap_ansatz(2, [])
+    with pytest.raises(SynthesisError):
+        ansatz.build_circuit(np.zeros(99))
+
+
+def test_unitary_matches_circuit(rng):
+    ansatz = build_leap_ansatz(3, [(0, 1), (1, 2)])
+    params = rng.uniform(-np.pi, np.pi, ansatz.num_params)
+    direct = ansatz.unitary(params)
+    via_circuit = ansatz.build_circuit(params).unitary()
+    assert np.allclose(direct, via_circuit, atol=1e-10)
+
+
+def test_gradient_matches_finite_differences(rng):
+    ansatz = build_leap_ansatz(2, [(0, 1), (1, 0)])
+    target = random_unitary(4, rng)
+    params = rng.uniform(-np.pi, np.pi, ansatz.num_params)
+    _, grad = _cost_and_gradient(params, ansatz, target.conj(), 4)
+    eps = 1e-6
+    for k in range(ansatz.num_params):
+        plus, minus = params.copy(), params.copy()
+        plus[k] += eps
+        minus[k] -= eps
+        numeric = (
+            _cost_and_gradient(plus, ansatz, target.conj(), 4)[0]
+            - _cost_and_gradient(minus, ansatz, target.conj(), 4)[0]
+        ) / (2 * eps)
+        assert grad[k] == pytest.approx(numeric, abs=1e-6)
+
+
+def test_gradient_shapes(rng):
+    ansatz = build_leap_ansatz(3, [(0, 2)])
+    params = rng.uniform(-1, 1, ansatz.num_params)
+    unitary, gradient = ansatz.unitary_and_gradient(params)
+    assert unitary.shape == (8, 8)
+    assert gradient.shape == (ansatz.num_params, 8, 8)
+
+
+def test_bad_placement_rejected():
+    with pytest.raises(SynthesisError):
+        build_leap_ansatz(2, [(1, 1)])
+
+
+def test_bad_param_indices_rejected():
+    with pytest.raises(SynthesisError):
+        Ansatz(1, [Slot("ry", (0,), 5)])
+
+
+def test_all_placements_full_connectivity():
+    placements = all_placements(3)
+    assert len(placements) == 6
+    assert (0, 1) in placements and (1, 0) in placements
+
+
+def test_all_placements_with_coupling():
+    placements = all_placements(3, coupling=[(0, 1)])
+    assert sorted(placements) == [(0, 1), (1, 0)]

@@ -1,0 +1,80 @@
+"""Tests for the Sec. 3.8 process-distance upper bound.
+
+The theorem test perturbs partitioned blocks and checks
+``actual <= sum of block distances`` — the property Fig. 7 demonstrates
+empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, random_circuit
+from repro.core.bounds import BoundCheck, total_bound, verify_bound
+from repro.partition import scan_partition
+
+
+def _perturbed(circuit: Circuit, rng: np.random.Generator, scale: float) -> Circuit:
+    """Randomly jitter every rotation angle (an 'approximation')."""
+    out = Circuit(circuit.num_qubits)
+    for op in circuit.operations:
+        if op.params:
+            jittered = tuple(
+                p + float(rng.normal(0.0, scale)) for p in op.params
+            )
+            out.add_gate(op.name, op.qubits, jittered)
+        else:
+            out.append(op)
+    return out
+
+
+def test_total_bound_sums():
+    assert total_bound([0.1, 0.2, 0.05]) == pytest.approx(0.35)
+
+
+def test_bound_check_properties():
+    check = BoundCheck(actual_distance=0.1, upper_bound=0.3)
+    assert check.holds
+    assert check.tightness == pytest.approx(1.0 / 3.0)
+    assert BoundCheck(actual_distance=0.0, upper_bound=0.0).tightness == 1.0
+
+
+def test_exact_blocks_have_zero_bound(rng):
+    circuit = random_circuit(4, 4, rng=rng)
+    blocks = scan_partition(circuit, max_block_qubits=3)
+    check = verify_bound(circuit, blocks, blocks)
+    # HS distances of identical unitaries are ~1e-8 in float64 (sqrt of a
+    # cancelled difference), so "zero" here means below that noise floor.
+    assert check.upper_bound == pytest.approx(0.0, abs=1e-6)
+    assert check.actual_distance < 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    scale=st.floats(0.01, 0.5),
+    n=st.integers(3, 5),
+)
+def test_bound_theorem_holds(seed, scale, n):
+    gen = np.random.default_rng(seed)
+    circuit = random_circuit(n, 4, rng=gen)
+    blocks = scan_partition(circuit, max_block_qubits=3)
+    approx_blocks = [
+        block.with_circuit(_perturbed(block.circuit, gen, scale))
+        for block in blocks
+    ]
+    check = verify_bound(circuit, blocks, approx_blocks)
+    assert check.holds, (check.actual_distance, check.upper_bound)
+
+
+def test_bound_is_reasonably_tight_for_single_block(rng):
+    # With one block the bound is exact by definition.
+    circuit = random_circuit(3, 3, rng=rng)
+    blocks = scan_partition(circuit, max_block_qubits=3)
+    if len(blocks) == 1:
+        approx = [blocks[0].with_circuit(_perturbed(blocks[0].circuit, rng, 0.2))]
+        check = verify_bound(circuit, blocks, approx)
+        assert check.tightness == pytest.approx(1.0, abs=1e-6)

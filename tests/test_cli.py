@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+from repro.circuits import circuit_from_qasm, circuit_to_qasm
+from repro.algorithms import tfim
+from repro.cli import main
+
+
+def test_cli_end_to_end(tmp_path, capsys):
+    circuit = tfim(3, steps=1)
+    qasm_path = tmp_path / "tfim.qasm"
+    qasm_path.write_text(circuit_to_qasm(circuit))
+    out_dir = tmp_path / "out"
+    code = main(
+        [
+            str(qasm_path),
+            "--out-dir", str(out_dir),
+            "--threshold", "0.3",
+            "--max-samples", "2",
+            "--time-budget", "10",
+            "--seed", "1",
+        ]
+    )
+    assert code == 0
+    written = sorted(out_dir.glob("approx_*.qasm"))
+    assert written
+    for path in written:
+        parsed = circuit_from_qasm(path.read_text())
+        assert parsed.num_qubits == 3
+    captured = capsys.readouterr()
+    assert "CNOTs" in captured.out
+
+
+def test_cli_missing_file(tmp_path, capsys):
+    code = main([str(tmp_path / "nope.qasm")])
+    assert code == 2
+    assert "error reading" in capsys.readouterr().err
+
+
+def test_cli_rejects_cnot_free_circuit(tmp_path, capsys):
+    from repro.circuits import Circuit
+
+    circuit = Circuit(2)
+    circuit.h(0)
+    path = tmp_path / "h.qasm"
+    path.write_text(circuit_to_qasm(circuit))
+    code = main([str(path)])
+    assert code == 1
+    assert "QUEST failed" in capsys.readouterr().err

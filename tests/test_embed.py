@@ -1,0 +1,92 @@
+"""Tests for gate embedding and tensor application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import gate_matrix, random_unitary
+from repro.exceptions import SimulationError
+from repro.linalg import apply_gate_to_matrix, apply_gate_to_state, embed_unitary
+
+
+def test_one_qubit_embedding_matches_kron(rng):
+    gate = random_unitary(2, rng)
+    identity = np.eye(2)
+    # Qubit 0 is the low-order factor.
+    assert np.allclose(embed_unitary(gate, (0,), 2), np.kron(identity, gate))
+    assert np.allclose(embed_unitary(gate, (1,), 2), np.kron(gate, identity))
+
+
+def test_two_qubit_embedding_adjacent(rng):
+    gate = random_unitary(4, rng)
+    # On qubits (0, 1) of a 2-qubit system the embedding is the gate itself.
+    assert np.allclose(embed_unitary(gate, (0, 1), 2), gate)
+
+
+def test_two_qubit_embedding_reversed_is_swap_conjugation(rng):
+    gate = random_unitary(4, rng)
+    swap = gate_matrix("swap")
+    embedded = embed_unitary(gate, (1, 0), 2)
+    assert np.allclose(embedded, swap @ gate @ swap)
+
+
+def test_three_qubit_embedding_middle(rng):
+    gate = random_unitary(2, rng)
+    expected = np.kron(np.eye(2), np.kron(gate, np.eye(2)))
+    assert np.allclose(embed_unitary(gate, (1,), 3), expected)
+
+
+def test_apply_state_matches_dense(rng):
+    n = 4
+    state = random_unitary(2**n, rng)[:, 0]
+    gate = random_unitary(4, rng)
+    for qubits in [(0, 2), (3, 1), (2, 3)]:
+        dense = embed_unitary(gate, qubits, n)
+        assert np.allclose(
+            apply_gate_to_state(state, gate, qubits, n), dense @ state
+        )
+
+
+def test_apply_matrix_matches_dense(rng):
+    n = 3
+    matrix = random_unitary(2**n, rng)
+    gate = random_unitary(2, rng)
+    dense = embed_unitary(gate, (1,), n)
+    assert np.allclose(
+        apply_gate_to_matrix(matrix, gate, (1,), n), dense @ matrix
+    )
+
+
+def test_apply_preserves_norm(rng):
+    state = random_unitary(8, rng)[:, 0]
+    gate = random_unitary(4, rng)
+    out = apply_gate_to_state(state, gate, (0, 2), 3)
+    assert np.isclose(np.linalg.norm(out), 1.0)
+
+
+def test_duplicate_targets_rejected(rng):
+    state = np.zeros(4, dtype=complex)
+    state[0] = 1.0
+    with pytest.raises(SimulationError):
+        apply_gate_to_state(state, np.eye(4), (0, 0), 2)
+
+
+def test_out_of_range_target_rejected():
+    state = np.zeros(4, dtype=complex)
+    state[0] = 1.0
+    with pytest.raises(SimulationError):
+        apply_gate_to_state(state, np.eye(2), (5,), 2)
+
+
+def test_gate_shape_mismatch_rejected():
+    state = np.zeros(4, dtype=complex)
+    state[0] = 1.0
+    with pytest.raises(SimulationError):
+        apply_gate_to_state(state, np.eye(4), (0,), 2)
+
+
+def test_embedding_is_unitary(rng):
+    gate = random_unitary(4, rng)
+    embedded = embed_unitary(gate, (2, 0), 3)
+    assert np.allclose(embedded.conj().T @ embedded, np.eye(8), atol=1e-10)

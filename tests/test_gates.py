@@ -1,0 +1,130 @@
+"""Unit tests for gate definitions and matrices."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    CNOT_COST,
+    GATE_NUM_PARAMS,
+    GATE_NUM_QUBITS,
+    Gate,
+    gate_matrix,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    u3_matrix,
+)
+from repro.exceptions import GateError
+from repro.linalg import is_unitary
+
+
+ALL_UNITARY_GATES = [
+    name for name in GATE_NUM_PARAMS if name not in ("measure", "barrier")
+]
+
+
+@pytest.mark.parametrize("name", ALL_UNITARY_GATES)
+def test_every_gate_matrix_is_unitary(name):
+    params = tuple(0.3 * (i + 1) for i in range(GATE_NUM_PARAMS[name]))
+    matrix = gate_matrix(name, params)
+    dim = 2 ** GATE_NUM_QUBITS[name]
+    assert matrix.shape == (dim, dim)
+    assert is_unitary(matrix)
+
+
+@pytest.mark.parametrize("name", ALL_UNITARY_GATES)
+def test_every_gate_has_working_inverse(name):
+    params = tuple(0.3 * (i + 1) for i in range(GATE_NUM_PARAMS[name]))
+    gate = Gate(name, params)
+    inverse = gate.inverse()
+    product = inverse.matrix() @ gate.matrix()
+    identity = np.eye(product.shape[0])
+    # Inverses may differ by a global phase for some gate pairs.
+    phase = product[0, 0]
+    assert abs(abs(phase) - 1.0) < 1e-9
+    assert np.allclose(product, identity * phase, atol=1e-9)
+
+
+def test_unknown_gate_rejected():
+    with pytest.raises(GateError):
+        Gate("frobnicate")
+
+
+def test_wrong_param_count_rejected():
+    with pytest.raises(GateError):
+        Gate("rx")
+    with pytest.raises(GateError):
+        Gate("h", (0.5,))
+    with pytest.raises(GateError):
+        gate_matrix("u3", (0.1,))
+
+
+def test_pseudo_gates_have_no_matrix():
+    with pytest.raises(GateError):
+        gate_matrix("measure")
+    with pytest.raises(GateError):
+        gate_matrix("barrier")
+
+
+def test_rotation_composition():
+    # R(a) @ R(b) == R(a + b) for each Pauli rotation.
+    for builder in (rx_matrix, ry_matrix, rz_matrix):
+        a, b = 0.7, -1.3
+        assert np.allclose(builder(a) @ builder(b), builder(a + b), atol=1e-12)
+
+
+def test_rotation_period():
+    # R(4*pi) == identity exactly; R(2*pi) == -identity.
+    for builder in (rx_matrix, ry_matrix, rz_matrix):
+        assert np.allclose(builder(4.0 * math.pi), np.eye(2), atol=1e-12)
+        assert np.allclose(builder(2.0 * math.pi), -np.eye(2), atol=1e-12)
+
+
+def test_u3_specializations():
+    # U3(0, 0, lam) is the phase gate; U3(pi/2, phi, lam) is U2.
+    lam = 0.77
+    assert np.allclose(u3_matrix(0.0, 0.0, lam), gate_matrix("p", (lam,)))
+    assert np.allclose(
+        gate_matrix("u2", (0.1, 0.2)), u3_matrix(math.pi / 2.0, 0.1, 0.2)
+    )
+
+
+def test_cx_truth_table():
+    cx = gate_matrix("cx")
+    # Little-endian (control, target): control is the low-order bit.
+    # |00> -> |00>, |01> (control=1) -> |11>, |10> -> |10>, |11> -> |01>.
+    for src, dst in [(0, 0), (1, 3), (2, 2), (3, 1)]:
+        column = cx[:, src]
+        assert abs(column[dst] - 1.0) < 1e-12
+
+
+def test_ccx_truth_table():
+    ccx = gate_matrix("ccx")
+    # Target (third qubit) flips only when both controls (bits 0, 1) set.
+    for src in range(8):
+        expected = src ^ 0b100 if (src & 0b011) == 0b011 else src
+        assert abs(ccx[expected, src] - 1.0) < 1e-12
+
+
+def test_cnot_cost_accounting():
+    assert Gate("cx").cnot_cost() == 1
+    assert Gate("swap").cnot_cost() == 3
+    assert Gate("rzz", (0.3,)).cnot_cost() == 2
+    assert Gate("ccx").cnot_cost() == 6
+    assert Gate("h").cnot_cost() == 0
+    assert CNOT_COST["cswap"] == 8
+
+
+def test_gate_params_coerced_to_float():
+    gate = Gate("rx", (1,))
+    assert isinstance(gate.params[0], float)
+
+
+def test_gate_frozen():
+    gate = Gate("h")
+    with pytest.raises(Exception):
+        gate.name = "x"  # type: ignore[misc]

@@ -1,0 +1,85 @@
+"""Tests for the interaction-aware layout pass."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.exceptions import TranspilerError
+from repro.noise import fake_manila, linear_backend
+from repro.sim import ideal_distribution
+from repro.sim.readout import logical_distribution
+from repro.transpile import route_to_coupling
+from repro.transpile.layout import (
+    apply_layout,
+    interaction_counts,
+    interaction_layout,
+)
+
+
+def _star_circuit() -> Circuit:
+    # Qubit 0 interacts with everyone: the busiest logical qubit.
+    circuit = Circuit(4)
+    for q in (1, 2, 3):
+        circuit.cx(0, q)
+    return circuit
+
+
+def test_interaction_counts():
+    counts = interaction_counts(_star_circuit())
+    assert counts[0] == 3
+    assert counts[1] == counts[2] == counts[3] == 1
+
+
+def test_busiest_qubit_gets_central_physical():
+    circuit = _star_circuit()
+    layout = interaction_layout(circuit, linear_backend(4))
+    # On a 4-chain the most central qubits are 1 and 2.
+    assert layout[0] in (1, 2)
+
+
+def test_layout_is_bijective():
+    layout = interaction_layout(_star_circuit(), fake_manila())
+    assert len(set(layout.values())) == len(layout)
+
+
+def test_layout_rejects_small_backend():
+    circuit = Circuit(6)
+    with pytest.raises(TranspilerError):
+        interaction_layout(circuit, fake_manila())
+
+
+def test_apply_layout_validation():
+    circuit = _star_circuit()
+    with pytest.raises(TranspilerError):
+        apply_layout(circuit, {0: 0}, 4)
+    with pytest.raises(TranspilerError):
+        apply_layout(circuit, {0: 0, 1: 0, 2: 1, 3: 2}, 4)
+
+
+def test_layout_reduces_swaps_on_star_circuit():
+    circuit = _star_circuit()
+    backend = linear_backend(4)
+    trivial = route_to_coupling(circuit, backend.coupling_map)
+    laid_out = apply_layout(
+        circuit, interaction_layout(circuit, backend), backend.num_qubits
+    )
+    routed = route_to_coupling(laid_out, backend.coupling_map)
+    assert routed.swaps_inserted <= trivial.swaps_inserted
+
+
+def test_layout_preserves_semantics():
+    circuit = _star_circuit()
+    circuit.measure_all()
+    backend = fake_manila()
+    laid_out = apply_layout(
+        circuit, interaction_layout(circuit, backend), backend.num_qubits
+    )
+    routed = route_to_coupling(laid_out, backend.coupling_map)
+    physical = ideal_distribution(routed.circuit.without_measurements())
+    # Measurements were remapped by apply_layout and again by routing;
+    # the logical distribution must match the original.
+    logical = logical_distribution(routed.circuit, physical)
+    original = ideal_distribution(circuit.without_measurements())
+    assert np.allclose(logical[: len(original)], original, atol=1e-8)

@@ -1,0 +1,108 @@
+"""Tests for output-distance metrics, including property-based checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.metrics import average_distributions, jsd, kl_divergence, tvd
+
+
+def _random_dist(seed: int, dim: int = 8) -> np.ndarray:
+    gen = np.random.default_rng(seed)
+    raw = gen.random(dim) + 1e-9
+    return raw / raw.sum()
+
+
+def test_tvd_identical_zero():
+    p = _random_dist(0)
+    assert tvd(p, p) == pytest.approx(0.0)
+
+
+def test_tvd_disjoint_is_one():
+    p = np.array([1.0, 0.0])
+    q = np.array([0.0, 1.0])
+    assert tvd(p, q) == pytest.approx(1.0)
+
+
+def test_tvd_known_value():
+    p = np.array([0.5, 0.5])
+    q = np.array([0.75, 0.25])
+    assert tvd(p, q) == pytest.approx(0.25)
+
+
+def test_jsd_identical_zero():
+    p = _random_dist(1)
+    assert jsd(p, p) == pytest.approx(0.0, abs=1e-8)
+
+
+def test_jsd_disjoint_is_one():
+    p = np.array([1.0, 0.0])
+    q = np.array([0.0, 1.0])
+    # With base-2 logs the JS distance of disjoint distributions is 1.
+    assert jsd(p, q) == pytest.approx(1.0)
+
+
+def test_kl_divergence_infinite_when_support_missing():
+    p = np.array([0.5, 0.5])
+    q = np.array([1.0, 0.0])
+    assert kl_divergence(p, q) == float("inf")
+
+
+def test_kl_divergence_zero_for_identical():
+    p = _random_dist(2)
+    assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_validation_rejects_shapes():
+    with pytest.raises(ReproError):
+        tvd(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+def test_validation_rejects_unnormalized():
+    with pytest.raises(ReproError):
+        tvd(np.array([0.5, 0.2]), np.array([0.5, 0.5]))
+
+
+def test_validation_rejects_negative():
+    with pytest.raises(ReproError):
+        tvd(np.array([1.5, -0.5]), np.array([0.5, 0.5]))
+
+
+def test_average_distributions():
+    p = np.array([1.0, 0.0])
+    q = np.array([0.0, 1.0])
+    assert np.allclose(average_distributions([p, q]), [0.5, 0.5])
+
+
+def test_average_empty_rejected():
+    with pytest.raises(ReproError):
+        average_distributions([])
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(0, 10**6), b=st.integers(0, 10**6))
+def test_tvd_metric_properties(a, b):
+    p, q = _random_dist(a), _random_dist(b)
+    d = tvd(p, q)
+    assert 0.0 <= d <= 1.0
+    assert d == pytest.approx(tvd(q, p))
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(0, 10**6), b=st.integers(0, 10**6), c=st.integers(0, 10**6))
+def test_tvd_triangle_inequality(a, b, c):
+    p, q, r = _random_dist(a), _random_dist(b), _random_dist(c)
+    assert tvd(p, r) <= tvd(p, q) + tvd(q, r) + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(0, 10**6), b=st.integers(0, 10**6))
+def test_jsd_bounds_and_symmetry(a, b):
+    p, q = _random_dist(a), _random_dist(b)
+    d = jsd(p, q)
+    assert 0.0 <= d <= 1.0
+    assert d == pytest.approx(jsd(q, p), abs=1e-9)

@@ -1,0 +1,181 @@
+"""Tests for Pauli noise models and noisy simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, random_circuit
+from repro.exceptions import NoiseModelError, SimulationError
+from repro.metrics import tvd
+from repro.noise import (
+    MAX_DENSITY_QUBITS,
+    NoiseModel,
+    apply_readout_error,
+    noisy_distribution,
+    pauli_matrix,
+    readout_confusion,
+    run_density,
+    run_trajectories,
+)
+from repro.noise.model import ONE_QUBIT_PAULIS, TWO_QUBIT_PAULIS
+from repro.sim import ideal_distribution
+
+
+def test_pauli_matrix_labels():
+    assert np.allclose(pauli_matrix("X"), [[0, 1], [1, 0]])
+    zz = pauli_matrix("ZZ")
+    assert np.allclose(zz, np.diag([1, -1, -1, 1]))
+    with pytest.raises(NoiseModelError):
+        pauli_matrix("Q")
+    with pytest.raises(NoiseModelError):
+        pauli_matrix("")
+
+
+def test_two_qubit_pauli_enumeration():
+    assert len(TWO_QUBIT_PAULIS) == 15
+    assert "II" not in TWO_QUBIT_PAULIS
+    assert len(ONE_QUBIT_PAULIS) == 3
+
+
+def test_noise_model_validation():
+    with pytest.raises(NoiseModelError):
+        NoiseModel(one_qubit_error=-0.1)
+    with pytest.raises(NoiseModelError):
+        NoiseModel(two_qubit_error=1.5)
+
+
+def test_from_noise_level_hierarchy():
+    model = NoiseModel.from_noise_level(0.01)
+    assert model.two_qubit_error == pytest.approx(0.01)
+    assert model.one_qubit_error == pytest.approx(0.001)
+    assert model.readout_error == pytest.approx(0.01)
+
+
+def test_pauli_terms_sum_to_rate():
+    model = NoiseModel(one_qubit_error=0.03, two_qubit_error=0.12)
+    terms1 = model.pauli_terms(1)
+    assert sum(p for p, _ in terms1) == pytest.approx(0.03)
+    terms2 = model.pauli_terms(2)
+    assert len(terms2) == 15
+    assert sum(p for p, _ in terms2) == pytest.approx(0.12)
+    assert NoiseModel.noiseless().pauli_terms(2) == []
+
+
+def test_readout_confusion_stochastic():
+    confusion = readout_confusion(0.1)
+    assert np.allclose(confusion.sum(axis=0), [1.0, 1.0])
+
+
+def test_apply_readout_error_single_qubit():
+    probs = np.array([1.0, 0.0])
+    out = apply_readout_error(probs, 1, 0.1)
+    assert np.allclose(out, [0.9, 0.1])
+
+
+def test_apply_readout_error_preserves_normalization(rng):
+    probs = rng.random(8)
+    probs /= probs.sum()
+    out = apply_readout_error(probs, 3, 0.05)
+    assert out.sum() == pytest.approx(1.0)
+
+
+def test_density_noiseless_matches_ideal(rng):
+    circuit = random_circuit(3, 5, rng=rng)
+    assert np.allclose(
+        run_density(circuit, NoiseModel.noiseless()),
+        ideal_distribution(circuit),
+        atol=1e-10,
+    )
+
+
+def test_density_qubit_cap():
+    with pytest.raises(SimulationError):
+        run_density(Circuit(MAX_DENSITY_QUBITS + 1), NoiseModel())
+
+
+def test_density_noise_monotonic(rng):
+    circuit = random_circuit(3, 5, rng=rng)
+    ideal = ideal_distribution(circuit)
+    errors = [
+        tvd(ideal, run_density(circuit, NoiseModel.from_noise_level(level)))
+        for level in (0.001, 0.01, 0.05)
+    ]
+    assert errors[0] < errors[1] < errors[2]
+
+
+def test_heavy_noise_approaches_uniform():
+    # Many maximally-noisy CNOTs drive the output towards uniform.
+    circuit = Circuit(2)
+    for _ in range(40):
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+    noisy = run_density(circuit, NoiseModel(two_qubit_error=0.5))
+    assert tvd(noisy, np.full(4, 0.25)) < 0.02
+
+
+def test_trajectories_match_density(rng):
+    circuit = random_circuit(3, 4, rng=rng)
+    model = NoiseModel(one_qubit_error=0.01, two_qubit_error=0.05,
+                       readout_error=0.02)
+    exact = run_density(circuit, model)
+    sampled = run_trajectories(circuit, model, trajectories=3000, rng=rng)
+    assert tvd(exact, sampled) < 0.03
+
+
+def test_trajectories_noiseless_exact(rng):
+    circuit = random_circuit(3, 4, rng=rng)
+    out = run_trajectories(circuit, NoiseModel.noiseless(), trajectories=3, rng=rng)
+    assert np.allclose(out, ideal_distribution(circuit), atol=1e-10)
+
+
+def test_trajectories_need_positive_count(bell_circuit):
+    with pytest.raises(SimulationError):
+        run_trajectories(bell_circuit, NoiseModel(), trajectories=0)
+
+
+def test_noisy_distribution_dispatches(bell_circuit):
+    out = noisy_distribution(bell_circuit, NoiseModel.from_noise_level(0.01))
+    assert out.shape == (4,)
+    assert out.sum() == pytest.approx(1.0)
+
+
+def test_ccx_charged_as_pairs():
+    # A 3-qubit gate under noise should not crash and should add error.
+    circuit = Circuit(3)
+    circuit.ccx(0, 1, 2)
+    out = run_density(circuit, NoiseModel(two_qubit_error=0.05, readout_error=0.0))
+    ideal = ideal_distribution(circuit)
+    assert tvd(out, ideal) > 0.0
+
+
+def test_idle_decoherence_adds_error(rng):
+    circuit = random_circuit(3, 4, rng=rng)
+    quiet = NoiseModel.noiseless()
+    idle = NoiseModel(0.0, 0.0, 0.0, idle_decoherence=0.01)
+    ideal = run_density(circuit, quiet)
+    decohered = run_density(circuit, idle)
+    assert tvd(ideal, decohered) > 0.0
+
+
+def test_idle_decoherence_grows_with_depth(rng):
+    idle = NoiseModel(0.0, 0.0, 0.0, idle_decoherence=0.02)
+    short = Circuit(3)
+    short.cx(0, 1)
+    long = Circuit(3)
+    for _ in range(10):
+        long.cx(0, 1)
+        long.cx(0, 1)  # identity overall, but idling qubit 2 decoheres
+    short_out = run_density(short, idle)
+    long_out = run_density(long, idle)
+    ideal_short = ideal_distribution(short)
+    ideal_long = ideal_distribution(long)
+    assert tvd(ideal_long, long_out) > tvd(ideal_short, short_out)
+
+
+def test_idle_decoherence_in_trajectories(rng):
+    circuit = random_circuit(3, 3, rng=rng)
+    model = NoiseModel(0.0, 0.0, 0.0, idle_decoherence=0.05)
+    exact = run_density(circuit, model)
+    sampled = run_trajectories(circuit, model, trajectories=3000, rng=rng)
+    assert tvd(exact, sampled) < 0.03

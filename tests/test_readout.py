@@ -1,0 +1,77 @@
+"""Tests for classical-bit (post-routing) distribution mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.exceptions import SimulationError
+from repro.sim import ideal_distribution
+from repro.sim.readout import (
+    distribution_over_cbits,
+    logical_distribution,
+    measurement_map,
+)
+
+
+def test_measurement_map_extraction():
+    circuit = Circuit(3)
+    circuit.measure(2, 0)
+    circuit.measure(0, 1)
+    assert measurement_map(circuit) == {0: 2, 1: 0}
+
+
+def test_measurement_map_duplicate_cbit():
+    circuit = Circuit(2)
+    circuit.measure(0, 0)
+    circuit.measure(1, 0)
+    with pytest.raises(SimulationError):
+        measurement_map(circuit)
+
+
+def test_identity_mapping_is_noop():
+    probs = np.array([0.1, 0.2, 0.3, 0.4])
+    out = distribution_over_cbits(probs, 2, {0: 0, 1: 1})
+    assert np.allclose(out, probs)
+
+
+def test_swap_mapping_permutes():
+    # State |01> (qubit0=1) becomes cbit1=1 under the swapped mapping.
+    probs = np.array([0.0, 1.0, 0.0, 0.0])
+    out = distribution_over_cbits(probs, 2, {0: 1, 1: 0})
+    assert out[2] == pytest.approx(1.0)
+
+
+def test_marginalization():
+    # Uniform over 2 qubits, read only qubit 1.
+    probs = np.full(4, 0.25)
+    out = distribution_over_cbits(probs, 2, {0: 1})
+    assert np.allclose(out, [0.5, 0.5])
+
+
+def test_cbits_must_be_contiguous():
+    with pytest.raises(SimulationError):
+        distribution_over_cbits(np.full(4, 0.25), 2, {1: 0})
+
+
+def test_two_cbits_same_qubit_rejected():
+    with pytest.raises(SimulationError):
+        distribution_over_cbits(np.full(4, 0.25), 2, {0: 1, 1: 1})
+
+
+def test_logical_distribution_without_measures(bell_circuit):
+    probs = ideal_distribution(bell_circuit)
+    assert np.allclose(logical_distribution(bell_circuit, probs), probs)
+
+
+def test_logical_distribution_with_permuted_measures():
+    # Prepare |x=1> on qubit 0 only, but read qubit 0 into cbit 1.
+    circuit = Circuit(2)
+    circuit.x(0)
+    circuit.measure(0, 1)
+    circuit.measure(1, 0)
+    physical = ideal_distribution(circuit.without_measurements())
+    logical = logical_distribution(circuit, physical)
+    # Physical outcome is index 1 (qubit0=1); logical has cbit1=1 -> index 2.
+    assert logical[2] == pytest.approx(1.0)

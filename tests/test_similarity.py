@@ -1,0 +1,97 @@
+"""Tests for QUEST's dissimilarity criterion and lookup tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_unitary
+from repro.core.similarity import (
+    BlockSimilarityTables,
+    are_similar,
+    unitaries_similar,
+)
+from repro.exceptions import SelectionError
+
+
+def test_are_similar_predicate():
+    assert are_similar(0.1, 0.2, 0.3)
+    assert are_similar(0.3, 0.2, 0.3)
+    assert not are_similar(0.31, 0.2, 0.3)
+
+
+def test_identical_unitaries_similar(rng):
+    original = random_unitary(4, rng)
+    approx = random_unitary(4, rng)
+    assert unitaries_similar(approx, approx, original)
+
+
+def test_original_similar_to_everything(rng):
+    # d(S, O) <= max(d(S, O), d(O, O)) always holds with equality.
+    original = random_unitary(4, rng)
+    for _ in range(5):
+        other = random_unitary(4, rng)
+        assert unitaries_similar(other, original, original)
+
+
+def test_opposite_phases_dissimilar():
+    # Diagonal unitaries on "opposite sides" of the identity.
+    eps = 0.4
+    original = np.eye(2, dtype=complex)
+    plus = np.diag([1.0, np.exp(1j * eps)])
+    minus = np.diag([1.0, np.exp(-1j * eps)])
+    assert not unitaries_similar(plus, minus, original)
+
+
+def test_same_side_similar():
+    original = np.eye(2, dtype=complex)
+    a = np.diag([1.0, np.exp(1j * 0.4)])
+    b = np.diag([1.0, np.exp(1j * 0.38)])
+    assert unitaries_similar(a, b, original)
+
+
+class TestTables:
+    def _tables(self, rng):
+        originals = [random_unitary(2, rng) for _ in range(3)]
+        candidates = [
+            [original] + [random_unitary(2, rng) for _ in range(2)]
+            for original in originals
+        ]
+        return BlockSimilarityTables(candidates, originals)
+
+    def test_diagonal_true(self, rng):
+        tables = self._tables(rng)
+        for block in range(3):
+            assert tables.candidates_similar(block, 1, 1)
+
+    def test_symmetry(self, rng):
+        tables = self._tables(rng)
+        for block in range(3):
+            for i in range(3):
+                for j in range(3):
+                    assert tables.candidates_similar(
+                        block, i, j
+                    ) == tables.candidates_similar(block, j, i)
+
+    def test_similarity_fraction_identical_choice(self, rng):
+        tables = self._tables(rng)
+        choice = np.array([0, 1, 2])
+        assert tables.similarity_fraction(choice, choice) == pytest.approx(1.0)
+
+    def test_similarity_fraction_range(self, rng):
+        tables = self._tables(rng)
+        a = np.array([0, 0, 0])
+        b = np.array([1, 2, 1])
+        fraction = tables.similarity_fraction(a, b)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_length_validation(self, rng):
+        tables = self._tables(rng)
+        with pytest.raises(SelectionError):
+            tables.similarity_fraction(np.array([0]), np.array([0, 1, 2]))
+
+    def test_construction_validation(self, rng):
+        with pytest.raises(SelectionError):
+            BlockSimilarityTables([[np.eye(2)]], [])
+        with pytest.raises(SelectionError):
+            BlockSimilarityTables([[]], [np.eye(2)])

@@ -1,0 +1,94 @@
+"""Tests for epsilon-sphere variant sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.core.similarity import unitaries_similar
+from repro.exceptions import SynthesisError
+from repro.linalg import hs_distance
+from repro.synthesis.sphere import sphere_variants
+
+
+def _base_circuit() -> Circuit:
+    circuit = Circuit(2)
+    circuit.ry(0.3, 0)
+    circuit.rz(0.2, 1)
+    circuit.cx(0, 1)
+    circuit.ry(0.5, 0)
+    circuit.rz(0.7, 1)
+    return circuit
+
+
+def test_variants_land_in_band():
+    circuit = _base_circuit()
+    target = circuit.unitary()
+    threshold = 0.2
+    variants = sphere_variants(circuit, target, threshold, count=4, rng=0)
+    assert len(variants) >= 2
+    for variant in variants:
+        distance = hs_distance(variant.unitary(), target)
+        assert distance <= threshold + 1e-9
+        assert distance >= 0.05
+
+
+def test_variants_preserve_structure():
+    circuit = _base_circuit()
+    variants = sphere_variants(circuit, circuit.unitary(), 0.2, count=2, rng=1)
+    for variant in variants:
+        assert variant.cnot_count() == circuit.cnot_count()
+        assert [op.name for op in variant] == [op.name for op in circuit]
+
+
+def test_plus_minus_pairs_are_dissimilar():
+    # Variants generated in +v/-v pairs should include mutually
+    # dissimilar pairs (the whole point of sphere sampling).
+    circuit = _base_circuit()
+    target = circuit.unitary()
+    variants = sphere_variants(circuit, target, 0.25, count=6, rng=2)
+    assert len(variants) >= 2
+    found_dissimilar = False
+    for i in range(len(variants)):
+        for j in range(i + 1, len(variants)):
+            if not unitaries_similar(
+                variants[i].unitary(), variants[j].unitary(), target
+            ):
+                found_dissimilar = True
+    assert found_dissimilar
+
+
+def test_no_room_returns_empty():
+    # If the base is already essentially on the sphere, nothing is made.
+    circuit = _base_circuit()
+    other = Circuit(2)
+    other.cx(0, 1)
+    far_target = other.unitary()
+    base_distance = hs_distance(circuit.unitary(), far_target)
+    variants = sphere_variants(
+        circuit, far_target, threshold=base_distance * 1.01, count=4, rng=0
+    )
+    assert variants == []
+
+
+def test_no_rotations_returns_empty():
+    circuit = Circuit(2)
+    circuit.cx(0, 1)
+    assert sphere_variants(circuit, circuit.unitary(), 0.2, rng=0) == []
+
+
+def test_threshold_must_be_positive():
+    circuit = _base_circuit()
+    with pytest.raises(SynthesisError):
+        sphere_variants(circuit, circuit.unitary(), 0.0)
+
+
+def test_deterministic_with_seed():
+    circuit = _base_circuit()
+    target = circuit.unitary()
+    a = sphere_variants(circuit, target, 0.2, count=2, rng=42)
+    b = sphere_variants(circuit, target, 0.2, count=2, rng=42)
+    assert len(a) == len(b)
+    for va, vb in zip(a, b):
+        assert np.allclose(va.unitary(), vb.unitary())
