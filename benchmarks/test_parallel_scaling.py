@@ -1,0 +1,122 @@
+"""Smoke benchmark: serial vs. parallel vs. cached block synthesis.
+
+Runs the same 5-qubit Trotterized TFIM circuit through QUEST three ways —
+serial cold (cache disabled), 2-worker cold, and a cached re-run against
+a warm on-disk store — and records the timings to ``BENCH_parallel.json``
+at the repo root.  Asserts the subsystem's two core claims:
+
+* all three modes produce identical selections (determinism), and
+* the cached re-run reports cache hits and spends less time in synthesis
+  than the cold run.
+
+Absolute speedup from 2 workers is load-dependent (blocks are small at
+bench scale, so pool startup is a visible fraction), which is why the
+parallel run is recorded but only sanity-checked, not asserted faster.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro import QuestConfig, run_quest
+from repro.algorithms import tfim
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+#: Deliberately heavier than the unit-test configs so synthesis dominates
+#: and the cache/parallel effects are visible, but still minutes-free.
+SCALING_CONFIG = dict(
+    seed=2022,
+    max_samples=4,
+    max_block_qubits=2,
+    threshold_per_block=0.25,
+    max_layers_per_block=3,
+    solutions_per_layer=3,
+    instantiation_starts=2,
+    max_optimizer_iterations=120,
+    annealing_maxiter=80,
+    block_time_budget=20.0,
+    sphere_variants_per_count=2,
+)
+
+
+def _timed_run(circuit, **overrides):
+    config = QuestConfig(**{**SCALING_CONFIG, **overrides})
+    start = time.perf_counter()
+    result = run_quest(circuit, config)
+    return result, time.perf_counter() - start
+
+
+def test_parallel_scaling_smoke(tmp_path):
+    circuit = tfim(5, steps=2)
+
+    serial, serial_wall = _timed_run(circuit, workers=1, cache=False)
+    parallel, parallel_wall = _timed_run(circuit, workers=2, cache=False)
+    cache_dir = str(tmp_path / "pool_cache")
+    cold, cold_wall = _timed_run(circuit, workers=1, cache_dir=cache_dir)
+    cached, cached_wall = _timed_run(circuit, workers=1, cache_dir=cache_dir)
+
+    rows = [
+        ["serial (no cache)", f"{serial_wall:.2f}",
+         f"{serial.timings.synthesis_seconds:.2f}", serial.cache_hits],
+        ["2 workers (no cache)", f"{parallel_wall:.2f}",
+         f"{parallel.timings.synthesis_seconds:.2f}", parallel.cache_hits],
+        ["cold (disk cache)", f"{cold_wall:.2f}",
+         f"{cold.timings.synthesis_seconds:.2f}", cold.cache_hits],
+        ["cached re-run", f"{cached_wall:.2f}",
+         f"{cached.timings.synthesis_seconds:.2f}", cached.cache_hits],
+    ]
+    print_table(
+        "Parallel/caching scaling (TFIM-5, 2 Trotter steps)",
+        ["mode", "wall s", "synthesis s", "cache hits"],
+        rows,
+    )
+
+    # Determinism across all modes.
+    signature = [
+        serial.cnot_counts, serial.selection.bounds,
+        [tuple(int(i) for i in c) for c in serial.selection.choices],
+    ]
+    for other in (parallel, cold, cached):
+        assert [
+            other.cnot_counts, other.selection.bounds,
+            [tuple(int(i) for i in c) for c in other.selection.choices],
+        ] == signature
+
+    # The cached re-run must actually hit and actually save time.
+    assert cached.cache_hits > 0
+    assert cached.cache_misses == 0
+    assert (
+        cached.timings.synthesis_seconds < cold.timings.synthesis_seconds
+    )
+    # Within-run dedup alone (Trotter repeats) already beats no-cache.
+    assert cold.cache_hits > 0
+
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "circuit": "tfim(5, steps=2)",
+                "blocks": len(serial.blocks),
+                "serial_seconds": serial_wall,
+                "parallel2_seconds": parallel_wall,
+                "cold_cache_seconds": cold_wall,
+                "cached_rerun_seconds": cached_wall,
+                "serial_synthesis_seconds":
+                    serial.timings.synthesis_seconds,
+                "parallel2_synthesis_seconds":
+                    parallel.timings.synthesis_seconds,
+                "cold_synthesis_seconds": cold.timings.synthesis_seconds,
+                "cached_synthesis_seconds":
+                    cached.timings.synthesis_seconds,
+                "cold_cache_hits": cold.cache_hits,
+                "cached_cache_hits": cached.cache_hits,
+                "cnot_counts": serial.cnot_counts,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -21,6 +21,13 @@ from repro.core import QuestConfig, run_quest
 from repro.exceptions import ReproError
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -52,6 +59,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="per-block synthesis budget in seconds",
     )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes for block synthesis (1 = inline)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable reuse of synthesis results across identical blocks",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="directory for the persistent block-synthesis cache "
+        "(default: in-memory only)",
+    )
     return parser
 
 
@@ -62,12 +87,21 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, ReproError) as exc:
         print(f"error reading {args.input}: {exc}", file=sys.stderr)
         return 2
+    if args.cache_dir is not None and not args.no_cache:
+        try:
+            args.cache_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            print(f"error: cache dir {args.cache_dir}: {exc}", file=sys.stderr)
+            return 2
     config = QuestConfig(
         seed=args.seed,
         max_samples=args.max_samples,
         max_block_qubits=args.block_qubits,
         threshold_per_block=args.threshold,
         block_time_budget=args.time_budget,
+        workers=args.workers,
+        cache=not args.no_cache,
+        cache_dir=None if args.cache_dir is None else str(args.cache_dir),
     )
     try:
         result = run_quest(circuit, config)
@@ -76,6 +110,12 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     args.out_dir.mkdir(parents=True, exist_ok=True)
     print(result.summary())
+    print(
+        f"  synthesis: {result.cache_misses} block(s) synthesized, "
+        f"{result.cache_hits} cache hit(s), "
+        f"{len(result.synthesis_fallbacks)} fallback(s) "
+        f"in {result.timings.synthesis_seconds:.1f}s"
+    )
     for index, (approx, bound) in enumerate(
         zip(result.circuits, result.selection.bounds)
     ):

@@ -4,7 +4,7 @@ from repro.core.annealing import SelectionResult, select_approximations
 from repro.core.bounds import BoundCheck, total_bound, verify_bound
 from repro.core.ensemble import ensemble_distribution
 from repro.core.objective import SelectionObjective
-from repro.core.pool import BlockPool, Candidate, build_pool
+from repro.core.pool import BlockPool, Candidate, build_pool, exact_pool
 from repro.core.quest import (
     QuestConfig,
     QuestResult,
@@ -28,6 +28,7 @@ __all__ = [
     "BlockPool",
     "Candidate",
     "build_pool",
+    "exact_pool",
     "BlockSimilarityTables",
     "are_similar",
     "unitaries_similar",

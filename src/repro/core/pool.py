@@ -110,6 +110,16 @@ def build_pool(
     return pool
 
 
+def exact_pool(block: CircuitBlock) -> BlockPool:
+    """The singleton pool holding only the exact original block.
+
+    This is the guaranteed-feasible degenerate pool: used for blocks with
+    nothing to approximate (1 qubit, CNOT-free) and as the graceful
+    fallback when a block's synthesis fails or times out.
+    """
+    return build_pool(block, [])
+
+
 def augment_with_sphere_variants(
     pool: BlockPool,
     threshold: float,

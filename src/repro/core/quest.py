@@ -26,12 +26,22 @@ import numpy as np
 from repro.circuits.circuit import Circuit
 from repro.core.annealing import SelectionResult, select_approximations
 from repro.core.objective import SelectionObjective
-from repro.core.pool import BlockPool, augment_with_sphere_variants, build_pool
+from repro.core.pool import BlockPool
 from repro.exceptions import SelectionError
+from repro.parallel.cache import PoolCache
+from repro.parallel.executor import (
+    BlockSynthesisExecutor,
+    synthesize_block_pool,
+)
 from repro.partition.blocks import CircuitBlock, stitch_blocks
 from repro.partition.scan import scan_partition
-from repro.synthesis.leap import LeapConfig, synthesize
 from repro.transpile.basis import lower_to_basis
+
+#: Hard per-block timeout is this multiple of the cooperative LEAP budget
+#: (plus a grace constant) — generous, because LEAP only checks its
+#: budget between layers and a worker should die only when truly stuck.
+_HARD_TIMEOUT_FACTOR = 4.0
+_HARD_TIMEOUT_GRACE = 30.0
 
 
 @dataclass
@@ -58,6 +68,13 @@ class QuestConfig:
     block_time_budget: float | None = 30.0
     #: Epsilon-sphere variants added per kept CNOT count (0 disables).
     sphere_variants_per_count: int = 4
+    #: Worker processes for block synthesis (1 = inline, no process pool).
+    workers: int = 1
+    #: Reuse synthesis results across identical blocks within a run.
+    cache: bool = True
+    #: Directory for the persistent cross-run cache tier (None = memory only;
+    #: ignored when ``cache`` is False).
+    cache_dir: str | None = None
 
 
 @dataclass
@@ -67,10 +84,19 @@ class QuestTimings:
     partition_seconds: float = 0.0
     synthesis_seconds: float = 0.0
     annealing_seconds: float = 0.0
+    #: Per-block synthesis seconds measured inside the worker; 0.0 for
+    #: trivial blocks and cache hits.  With ``workers > 1`` the entries
+    #: overlap in wall time, so their sum can exceed ``synthesis_seconds``.
+    block_synthesis_seconds: list[float] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
-        """Total pipeline time."""
+        """Total pipeline time.
+
+        ``synthesis_seconds`` is the wall time of the whole synthesis
+        phase and already covers every per-block entry, so the total is
+        the sum of the three phase times regardless of worker count.
+        """
         return (
             self.partition_seconds
             + self.synthesis_seconds
@@ -90,6 +116,13 @@ class QuestResult:
     circuits: list[Circuit] = field(default_factory=list)
     threshold: float = 0.0
     timings: QuestTimings = field(default_factory=QuestTimings)
+    #: Blocks served without a fresh synthesis job (within-run repeats and
+    #: persistent-cache hits) vs. jobs actually synthesized.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Indices of blocks that fell back to their exact singleton pool
+    #: because synthesis failed or exceeded the hard time budget.
+    synthesis_fallbacks: list[int] = field(default_factory=list)
 
     @property
     def original_cnot_count(self) -> int:
@@ -127,38 +160,21 @@ class QuestResult:
 def _synthesize_block(
     block: CircuitBlock, config: QuestConfig, seed: int
 ) -> BlockPool:
-    original_cnots = block.circuit.cnot_count()
-    if block.num_qubits == 1 or original_cnots == 0:
-        # Nothing to approximate: the pool is just the block itself.
-        return build_pool(block, [])
-    leap_config = LeapConfig(
-        max_layers=min(config.max_layers_per_block, max(original_cnots - 1, 1)),
-        solutions_per_layer=config.solutions_per_layer,
-        instantiation_starts=config.instantiation_starts,
-        max_optimizer_iterations=config.max_optimizer_iterations,
-        seed=seed,
-        time_budget=config.block_time_budget,
-        # Threshold stopping: secondary optimizer starts halt at the
-        # per-block threshold, producing dissimilar on-sphere solutions.
-        target_distance=config.threshold_per_block,
-    )
-    report = synthesize(block.unitary(), leap_config)
-    # No single block may eat more than its per-block share of the total
-    # threshold — the per-block analogue of Algorithm 1's rejection line.
-    pool = build_pool(
-        block,
-        report.solutions,
-        max_candidates=config.max_candidates_per_block,
-        distance_cap=config.threshold_per_block,
-    )
-    if config.sphere_variants_per_count > 0:
-        augment_with_sphere_variants(
-            pool,
-            threshold=config.threshold_per_block,
-            per_count=config.sphere_variants_per_count,
-            rng=seed,
-        )
-    return pool
+    """Inline single-block synthesis (kept as the historical entry point)."""
+    return synthesize_block_pool(block, config, seed)
+
+
+def _draw_block_seeds(
+    rng: np.random.Generator, num_blocks: int
+) -> list[int]:
+    """Draw one synthesis seed per block, up front and in block order.
+
+    Seeds used to be drawn lazily inside the synthesis loop, which tied
+    every block's seed to the order the loop happened to run in — any
+    reordering (and any parallel dispatch) would silently change results.
+    Drawing the whole stream here pins seed ``i`` to block ``i`` forever.
+    """
+    return [int(rng.integers(2**31 - 1)) for _ in range(num_blocks)]
 
 
 def run_quest(circuit: Circuit, config: QuestConfig | None = None) -> QuestResult:
@@ -181,10 +197,24 @@ def run_quest(circuit: Circuit, config: QuestConfig | None = None) -> QuestResul
     result.timings.partition_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    result.pools = [
-        _synthesize_block(block, config, seed=int(rng.integers(2**31 - 1)))
-        for block in result.blocks
-    ]
+    block_seeds = _draw_block_seeds(rng, len(result.blocks))
+    executor = BlockSynthesisExecutor(
+        workers=config.workers,
+        cache=PoolCache(config.cache_dir) if config.cache else None,
+        hard_timeout=(
+            None
+            if config.block_time_budget is None
+            else _HARD_TIMEOUT_FACTOR * config.block_time_budget
+            + _HARD_TIMEOUT_GRACE
+        ),
+    )
+    result.pools, synthesis_stats = executor.run(
+        result.blocks, config, block_seeds
+    )
+    result.cache_hits = synthesis_stats.cache_hits
+    result.cache_misses = synthesis_stats.cache_misses
+    result.synthesis_fallbacks = synthesis_stats.fallback_blocks
+    result.timings.block_synthesis_seconds = synthesis_stats.block_seconds
     result.timings.synthesis_seconds = time.perf_counter() - start
 
     result.threshold = config.threshold_per_block * len(result.blocks)

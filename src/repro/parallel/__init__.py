@@ -1,0 +1,43 @@
+"""Parallel block synthesis and the content-addressed pool cache.
+
+Per-block LEAP synthesis dominates QUEST's wall time (paper Fig. 12) and
+the blocks are independent by construction, so this package fans the
+per-block work out over a process pool and reuses results across the
+many identical blocks that Trotterized circuits produce:
+
+* :mod:`repro.parallel.cache` — a content-addressed store keyed by a
+  canonical (global-phase-invariant) hash of the block unitary plus the
+  :class:`~repro.synthesis.leap.LeapConfig` fingerprint and seed, with an
+  optional checksummed on-disk tier that persists across runs.
+* :mod:`repro.parallel.executor` — :class:`BlockSynthesisExecutor`, which
+  dispatches blocks to workers (``workers=1`` runs inline), preserves the
+  deterministic per-block seed stream so parallel and serial runs select
+  byte-identical candidates, and degrades a failed or timed-out block to
+  its exact-block singleton pool instead of killing the run.
+"""
+
+from repro.parallel.cache import (
+    PoolCache,
+    canonical_unitary_bytes,
+    content_key,
+    entry_key,
+)
+from repro.parallel.executor import (
+    BlockSynthesisExecutor,
+    BlockSynthesisStats,
+    assemble_pool,
+    leap_config_for_block,
+    synthesize_block_pool,
+)
+
+__all__ = [
+    "PoolCache",
+    "canonical_unitary_bytes",
+    "content_key",
+    "entry_key",
+    "BlockSynthesisExecutor",
+    "BlockSynthesisStats",
+    "assemble_pool",
+    "leap_config_for_block",
+    "synthesize_block_pool",
+]

@@ -1,0 +1,184 @@
+"""Content-addressed cache for per-block synthesis results.
+
+Trotterized circuits (TFIM, Heisenberg, XY) partition into many blocks
+whose unitaries are *identical*, so LEAP would otherwise re-derive the
+same approximation pool over and over.  The cache stores the list of
+:class:`~repro.synthesis.leap.SynthesisSolution` objects a block's
+synthesis produced, addressed by content:
+
+* ``content_key(unitary, fingerprint)`` — a SHA-256 of the block unitary
+  canonicalized up to global phase, mixed with the
+  :meth:`LeapConfig.fingerprint` of every behaviour-affecting synthesis
+  knob *except* the seed.  Blocks that are equal up to a global phase map
+  to the same content key; any change to threshold, layer budget,
+  optimizer iterations, etc. maps to a different one.
+* ``entry_key(content, seed)`` — the content key mixed with the seed the
+  synthesis actually ran under.  Solutions depend on the seed, so the
+  stored entry must too; the executor canonicalizes seeds per content key
+  (first occurrence wins) so that repeats within a run share an entry.
+
+Entries live in memory for the duration of a run and, when ``cache_dir``
+is given, in one file per entry on disk.  Disk entries are a pickled
+envelope carrying a format version, the key, and a SHA-256 checksum of
+the payload; anything that fails to load, fails the checksum, or carries
+the wrong version/key is treated as a miss and recomputed — a corrupt or
+partially-written file can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.synthesis.leap import SynthesisSolution
+
+#: Bump when the entry payload layout changes; old files become misses.
+CACHE_VERSION = 1
+
+#: Decimal places kept when canonicalizing a unitary for hashing.  Two
+#: unitaries closer than ~1e-8 element-wise hash identically, which is far
+#: below any distance the pipeline distinguishes.
+_CANONICAL_DECIMALS = 8
+
+
+def canonical_unitary_bytes(
+    unitary: np.ndarray, decimals: int = _CANONICAL_DECIMALS
+) -> bytes:
+    """Serialize ``unitary`` invariantly under global phase.
+
+    The matrix is divided by the phase of its largest-magnitude entry
+    (making that entry real-positive), rounded, and serialized together
+    with its shape.  ``U`` and ``e^{i theta} U`` therefore produce the
+    same bytes.
+    """
+    matrix = np.ascontiguousarray(unitary, dtype=complex)
+    flat_index = int(np.argmax(np.abs(matrix)))
+    pivot = matrix.flat[flat_index]
+    magnitude = abs(pivot)
+    if magnitude > 0.0:
+        matrix = matrix / (pivot / magnitude)
+    rounded = np.round(matrix, decimals)
+    # Normalize -0.0 so that values straddling zero hash consistently.
+    rounded = rounded + 0.0
+    return repr(rounded.shape).encode() + rounded.tobytes()
+
+
+def content_key(unitary: np.ndarray, fingerprint: str) -> str:
+    """Key identifying *what* is synthesized: target + seedless config."""
+    digest = hashlib.sha256()
+    digest.update(canonical_unitary_bytes(unitary))
+    digest.update(b"\x00")
+    digest.update(fingerprint.encode())
+    return digest.hexdigest()
+
+
+def entry_key(content: str, seed: int) -> str:
+    """Key identifying a concrete result: content key + synthesis seed."""
+    digest = hashlib.sha256()
+    digest.update(content.encode())
+    digest.update(b"\x00seed=")
+    digest.update(str(int(seed)).encode())
+    return digest.hexdigest()
+
+
+class PoolCache:
+    """Two-tier (memory + optional disk) store of synthesis solutions.
+
+    ``hits``/``misses`` count :meth:`get` probes for the lifetime of the
+    instance; :func:`repro.core.quest.run_quest` creates one instance per
+    run, so the counters it reports are per-run.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None) -> None:
+        self._memory: dict[str, list[SynthesisSolution]] = {}
+        self._dir: Path | None = None
+        if cache_dir is not None:
+            self._dir = Path(cache_dir)
+            self._dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def cache_dir(self) -> Path | None:
+        """The on-disk tier's directory (None = memory only)."""
+        return self._dir
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def get(self, key: str) -> list[SynthesisSolution] | None:
+        """Return the stored solutions for ``key``, or None on a miss."""
+        solutions = self._memory.get(key)
+        if solutions is None and self._dir is not None:
+            solutions = self._load_disk(key)
+            if solutions is not None:
+                self._memory[key] = solutions
+        if solutions is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return solutions
+
+    def put(self, key: str, solutions: list[SynthesisSolution]) -> None:
+        """Store ``solutions`` under ``key`` (memory, and disk if enabled)."""
+        self._memory[key] = list(solutions)
+        if self._dir is not None:
+            self._store_disk(key, solutions)
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        assert self._dir is not None
+        return self._dir / f"{key}.qpool"
+
+    def _store_disk(self, key: str, solutions: list[SynthesisSolution]) -> None:
+        payload = pickle.dumps(list(solutions), protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "checksum": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
+        path = self._path(key)
+        # Atomic publish: a reader never observes a half-written entry
+        # under its final name.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
+            os.replace(tmp, path)
+        except OSError:
+            # Disk tier is best-effort; the in-memory entry still serves
+            # this run.
+            tmp.unlink(missing_ok=True)
+
+    def _load_disk(self, key: str) -> list[SynthesisSolution] | None:
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            envelope = pickle.loads(raw)
+            if not isinstance(envelope, dict):
+                return None
+            if envelope.get("version") != CACHE_VERSION:
+                return None
+            if envelope.get("key") != key:
+                return None
+            payload = envelope["payload"]
+            if hashlib.sha256(payload).hexdigest() != envelope["checksum"]:
+                return None
+            solutions = pickle.loads(payload)
+        except Exception:
+            # Truncated, garbled, or otherwise unreadable: recompute.
+            return None
+        if not isinstance(solutions, list) or not all(
+            isinstance(s, SynthesisSolution) for s in solutions
+        ):
+            return None
+        return solutions

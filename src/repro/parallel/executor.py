@@ -1,0 +1,314 @@
+"""Parallel fan-out of per-block LEAP synthesis.
+
+:class:`BlockSynthesisExecutor` takes the partition's blocks plus one
+pre-drawn seed per block and returns one :class:`BlockPool` per block.
+Three properties make it a drop-in replacement for the old sequential
+loop in :func:`repro.core.quest.run_quest`:
+
+**Determinism.**  Seeds are drawn by the caller *before* dispatch, in
+block order, so neither worker count nor completion order can change
+which seed a block synthesizes under.  Blocks whose content key (see
+:mod:`repro.parallel.cache`) collides are canonicalized to the seed of
+the *first* occurrence; since LEAP is deterministic given (target,
+config, seed), repeated blocks then produce byte-identical solutions
+whether they are recomputed (cache off) or reused (cache on).
+
+**Caching.**  With a :class:`~repro.parallel.cache.PoolCache`, each
+unique entry key synthesizes at most once per run; repeats and disk hits
+skip straight to pool assembly.  Only the LEAP solution list is cached —
+pool assembly (original-block candidate, distance re-measurement, sphere
+variants) is cheap and block-specific, so it always runs in the parent.
+
+**Graceful degradation.**  A worker that raises, dies, or exceeds the
+hard per-block timeout downgrades its block(s) to the exact-block
+singleton pool — the distance-zero fallback QUEST always keeps — with a
+:class:`RuntimeWarning`, so one bad block costs approximation quality,
+never the run.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+
+from repro.core.pool import (
+    BlockPool,
+    augment_with_sphere_variants,
+    build_pool,
+    exact_pool,
+)
+from repro.parallel.cache import PoolCache, content_key, entry_key
+from repro.partition.blocks import CircuitBlock
+from repro.synthesis.leap import LeapConfig, SynthesisSolution, synthesize
+
+
+def leap_config_for_block(
+    original_cnots: int, config, seed: int | None
+) -> LeapConfig:
+    """The per-block LEAP configuration ``run_quest`` has always used.
+
+    ``config`` is duck-typed (any object with the QuestConfig synthesis
+    knobs) so this module never imports :mod:`repro.core.quest`.
+    """
+    return LeapConfig(
+        max_layers=min(config.max_layers_per_block, max(original_cnots - 1, 1)),
+        solutions_per_layer=config.solutions_per_layer,
+        instantiation_starts=config.instantiation_starts,
+        max_optimizer_iterations=config.max_optimizer_iterations,
+        seed=seed,
+        time_budget=config.block_time_budget,
+        # Threshold stopping: secondary optimizer starts halt at the
+        # per-block threshold, producing dissimilar on-sphere solutions.
+        target_distance=config.threshold_per_block,
+    )
+
+
+def _synthesize_solutions_task(
+    block: CircuitBlock, config, seed: int
+) -> tuple[list[SynthesisSolution], float]:
+    """The unit of work shipped to a worker: LEAP on one block's unitary.
+
+    Returns the solution list plus the synthesis wall time measured
+    inside the worker (queueing and pickling excluded).
+    """
+    start = time.perf_counter()
+    leap_config = leap_config_for_block(
+        block.circuit.cnot_count(), config, seed
+    )
+    report = synthesize(block.unitary(), leap_config)
+    return report.solutions, time.perf_counter() - start
+
+
+def assemble_pool(
+    block: CircuitBlock,
+    solutions: list[SynthesisSolution],
+    config,
+    seed: int,
+) -> BlockPool:
+    """Build the block's candidate pool from raw LEAP solutions.
+
+    Runs in the parent process: the pool embeds the (position-specific)
+    block, so only the solutions themselves are shareable across blocks.
+    """
+    # No single block may eat more than its per-block share of the total
+    # threshold — the per-block analogue of Algorithm 1's rejection line.
+    pool = build_pool(
+        block,
+        solutions,
+        max_candidates=config.max_candidates_per_block,
+        distance_cap=config.threshold_per_block,
+    )
+    if config.sphere_variants_per_count > 0:
+        augment_with_sphere_variants(
+            pool,
+            threshold=config.threshold_per_block,
+            per_count=config.sphere_variants_per_count,
+            rng=seed,
+        )
+    return pool
+
+
+def synthesize_block_pool(block: CircuitBlock, config, seed: int) -> BlockPool:
+    """Synthesize one block end-to-end, inline (no pool, no cache)."""
+    if block.num_qubits == 1 or block.circuit.cnot_count() == 0:
+        # Nothing to approximate: the pool is just the block itself.
+        return exact_pool(block)
+    solutions, _ = _synthesize_solutions_task(block, config, seed)
+    return assemble_pool(block, solutions, config, seed)
+
+
+@dataclass
+class BlockSynthesisStats:
+    """What the executor did, for the run's telemetry.
+
+    ``cache_hits`` counts blocks served without a synthesis job (within-
+    run repeats and disk hits); ``cache_misses`` counts jobs actually
+    dispatched.  Trivial (1-qubit / CNOT-free) blocks count as neither.
+    """
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Indices of blocks downgraded to their exact-block fallback pool.
+    fallback_blocks: list[int] = field(default_factory=list)
+    #: Per-block synthesis seconds, measured inside the worker; 0.0 for
+    #: trivial blocks and cache/repeat hits.
+    block_seconds: list[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _BlockPlan:
+    """Routing decision for one block."""
+
+    trivial: bool
+    key: str | None = None  # entry key (None for trivial blocks)
+    seed: int = 0  # canonical synthesis seed
+
+
+class BlockSynthesisExecutor:
+    """Fans per-block synthesis out over a process pool, with caching.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` (the default) runs every block inline in
+        the parent — same results, single process, easiest to debug.
+    cache:
+        Optional :class:`PoolCache`.  When given, blocks sharing an entry
+        key synthesize once per run and may persist across runs.
+    hard_timeout:
+        Hard per-block wall-clock cap in seconds, enforced via the
+        future's result timeout (so only when ``workers > 1``; inline
+        execution relies on LEAP's own cooperative ``time_budget``).  A
+        block that exceeds it falls back to its exact pool.
+    synthesize_fn:
+        Override of the worker task, for testing/instrumentation.  Must
+        be a module-level callable with the signature of
+        :func:`_synthesize_solutions_task`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: PoolCache | None = None,
+        hard_timeout: float | None = None,
+        synthesize_fn=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.cache = cache
+        self.hard_timeout = hard_timeout
+        self._synthesize_fn = synthesize_fn
+
+    def run(
+        self,
+        blocks: list[CircuitBlock],
+        config,
+        seeds: list[int],
+    ) -> tuple[list[BlockPool], BlockSynthesisStats]:
+        """Synthesize every block; returns (pools, stats) in block order."""
+        if len(seeds) != len(blocks):
+            raise ValueError(
+                f"got {len(seeds)} seeds for {len(blocks)} blocks"
+            )
+        task = (
+            self._synthesize_fn
+            if self._synthesize_fn is not None
+            else _synthesize_solutions_task
+        )
+        stats = BlockSynthesisStats(block_seconds=[0.0] * len(blocks))
+
+        # Phase 1: plan. Canonicalize seeds per content key and decide,
+        # per entry key, whether a synthesis job is needed.
+        plans: list[_BlockPlan] = []
+        canonical_seed: dict[str, int] = {}
+        resolved: dict[str, list[SynthesisSolution]] = {}
+        jobs: dict[str, tuple[int, CircuitBlock, int]] = {}
+        for index, (block, seed) in enumerate(zip(blocks, seeds)):
+            if block.num_qubits == 1 or block.circuit.cnot_count() == 0:
+                plans.append(_BlockPlan(trivial=True))
+                continue
+            fingerprint = leap_config_for_block(
+                block.circuit.cnot_count(), config, seed=None
+            ).fingerprint()
+            content = content_key(block.unitary(), fingerprint)
+            seed = canonical_seed.setdefault(content, seed)
+            key = entry_key(content, seed)
+            plans.append(_BlockPlan(trivial=False, key=key, seed=seed))
+            if self.cache is not None:
+                if key in resolved or key in jobs:
+                    stats.cache_hits += 1  # within-run repeat
+                    continue
+                cached = self.cache.get(key)
+                if cached is not None:
+                    resolved[key] = cached
+                    stats.cache_hits += 1
+                    continue
+                jobs[key] = (index, block, seed)
+            else:
+                # Cache disabled: recompute repeats independently (the
+                # canonical seed keeps the results identical anyway).
+                if key in jobs:
+                    key = f"{key}#{index}"
+                jobs[key] = (index, block, seed)
+            stats.cache_misses += 1
+
+        # Phase 2: execute the synthesis jobs.
+        failures: dict[str, BaseException] = {}
+        if jobs:
+            if self.workers == 1:
+                for key, (index, block, seed) in jobs.items():
+                    try:
+                        solutions, elapsed = task(block, config, seed)
+                    except Exception as exc:
+                        failures[key] = exc
+                        continue
+                    resolved[key] = solutions
+                    stats.block_seconds[index] = elapsed
+            else:
+                self._run_pool(task, config, jobs, resolved, failures, stats)
+            if self.cache is not None:
+                for key in jobs:
+                    if key in resolved:
+                        self.cache.put(key, resolved[key])
+
+        # Phase 3: assemble pools (parent process, block order).
+        pools: list[BlockPool] = []
+        for index, (block, plan) in enumerate(zip(blocks, plans)):
+            if plan.trivial:
+                pools.append(exact_pool(block))
+                continue
+            key = plan.key if plan.key in resolved else f"{plan.key}#{index}"
+            solutions = resolved.get(key)
+            if solutions is None:
+                cause = failures.get(key) or failures.get(plan.key)
+                warnings.warn(
+                    f"block {index}: synthesis unavailable "
+                    f"({type(cause).__name__ if cause else 'worker failure'}: "
+                    f"{cause}); falling back to the exact block",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                stats.fallback_blocks.append(index)
+                pools.append(exact_pool(block))
+                continue
+            pools.append(assemble_pool(block, solutions, config, plan.seed))
+        return pools, stats
+
+    def _run_pool(
+        self,
+        task,
+        config,
+        jobs: dict[str, tuple[int, CircuitBlock, int]],
+        resolved: dict[str, list[SynthesisSolution]],
+        failures: dict[str, BaseException],
+        stats: BlockSynthesisStats,
+    ) -> None:
+        """Dispatch ``jobs`` over a process pool, honoring the timeout."""
+        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(jobs)))
+        try:
+            futures = {
+                key: pool.submit(task, block, config, seed)
+                for key, (_, block, seed) in jobs.items()
+            }
+            for key, future in futures.items():
+                index = jobs[key][0]
+                try:
+                    solutions, elapsed = future.result(
+                        timeout=self.hard_timeout
+                    )
+                except FutureTimeoutError as exc:
+                    future.cancel()
+                    failures[key] = exc
+                except Exception as exc:  # worker raised or pool broke
+                    failures[key] = exc
+                else:
+                    resolved[key] = solutions
+                    stats.block_seconds[index] = elapsed
+        finally:
+            # Never block the run on a hung worker; timed-out processes
+            # are abandoned rather than awaited.
+            pool.shutdown(wait=False, cancel_futures=True)

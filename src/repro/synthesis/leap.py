@@ -84,6 +84,34 @@ class LeapConfig:
         d = min(max(self.target_distance, 0.0), 1.0)
         return 1.0 - float(np.sqrt(max(0.0, 1.0 - d * d)))
 
+    def fingerprint(self) -> str:
+        """Stable digest input of every behaviour-affecting knob but the seed.
+
+        Two configs with equal fingerprints explore identical search
+        spaces, so their results are interchangeable *given the same
+        seed*; the content-addressed pool cache therefore keys on this
+        fingerprint and mixes the seed in separately (see
+        :mod:`repro.parallel.cache`).
+        """
+        coupling = (
+            None
+            if self.coupling is None
+            else tuple(sorted((int(a), int(b)) for a, b in self.coupling))
+        )
+        fields = (
+            ("max_layers", int(self.max_layers)),
+            ("success_threshold", float(self.success_threshold)),
+            ("solutions_per_layer", int(self.solutions_per_layer)),
+            ("instantiation_starts", int(self.instantiation_starts)),
+            ("max_optimizer_iterations", int(self.max_optimizer_iterations)),
+            ("layer_rotations", tuple(self.layer_rotations)),
+            ("coupling", coupling),
+            ("stop_when_exact", bool(self.stop_when_exact)),
+            ("time_budget", self.time_budget),
+            ("target_distance", self.target_distance),
+        )
+        return repr(fields)
+
 
 @dataclass
 class SynthesisReport:

@@ -48,9 +48,13 @@ def test_remap_is_permutation_conjugation(seed, n):
     mapping = {i: int(permutation[i]) for i in range(n)}
     remapped = circuit.remap(mapping)
     # Remapping preserves gate structure and the spectrum of the unitary.
-    original_eigs = np.sort(np.angle(np.linalg.eigvals(circuit_unitary(circuit))))
-    remapped_eigs = np.sort(np.angle(np.linalg.eigvals(circuit_unitary(remapped))))
-    assert np.allclose(original_eigs, remapped_eigs, atol=1e-7)
+    # Compare eigenvalues as complex numbers, not angles: an eigenvalue at
+    # exactly -1 lands on the angle branch cut, where numerical noise
+    # flips np.angle between -pi and +pi (hypothesis found seed=512, n=4).
+    original_eigs = np.linalg.eigvals(circuit_unitary(circuit))
+    remapped_eigs = np.linalg.eigvals(circuit_unitary(remapped))
+    for eig in original_eigs:
+        assert np.min(np.abs(remapped_eigs - eig)) < 1e-7
     assert remapped.cnot_count() == circuit.cnot_count()
 
 

@@ -32,6 +32,35 @@ def test_cli_end_to_end(tmp_path, capsys):
     assert "CNOTs" in captured.out
 
 
+def test_cli_parallel_and_cache_flags(tmp_path, capsys):
+    circuit = tfim(4, steps=2)
+    qasm_path = tmp_path / "tfim.qasm"
+    qasm_path.write_text(circuit_to_qasm(circuit))
+    cache_dir = tmp_path / "cache"
+    args = [
+        str(qasm_path),
+        "--out-dir", str(tmp_path / "out"),
+        "--threshold", "0.3",
+        "--max-samples", "2",
+        "--block-qubits", "2",
+        "--time-budget", "10",
+        "--seed", "1",
+        "--workers", "2",
+        "--cache-dir", str(cache_dir),
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "cache hit" in first
+    assert any(cache_dir.iterdir())  # the persistent tier was populated
+    # Second run: everything served from the on-disk cache.
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "0 block(s) synthesized" in second
+    # Disabling the cache is accepted and still completes.
+    assert main(args[:-2] + ["--no-cache"]) == 0
+    assert "0 cache hit(s)" in capsys.readouterr().out
+
+
 def test_cli_missing_file(tmp_path, capsys):
     code = main([str(tmp_path / "nope.qasm")])
     assert code == 2

@@ -1,0 +1,215 @@
+"""Property-style tests for the content-addressed pool cache."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.random_circuits import random_unitary
+from repro.parallel.cache import (
+    CACHE_VERSION,
+    PoolCache,
+    canonical_unitary_bytes,
+    content_key,
+    entry_key,
+)
+from repro.synthesis.leap import LeapConfig, SynthesisSolution
+
+
+def _solutions() -> list[SynthesisSolution]:
+    circuit = Circuit(2)
+    circuit.ry(0.3, 0)
+    circuit.cx(0, 1)
+    return [
+        SynthesisSolution(circuit=circuit, distance=0.01, cnot_count=1),
+    ]
+
+
+FINGERPRINT = LeapConfig(max_layers=3, target_distance=0.2).fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Key properties
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("phase", [0.1, np.pi / 3, np.pi, -2.5])
+def test_global_phase_invariance(rng, phase):
+    """U and e^{i theta} U address the same cache entry."""
+    unitary = random_unitary(4, rng)
+    shifted = np.exp(1j * phase) * unitary
+    assert canonical_unitary_bytes(unitary) == canonical_unitary_bytes(shifted)
+    assert content_key(unitary, FINGERPRINT) == content_key(
+        shifted, FINGERPRINT
+    )
+
+
+def test_distinct_unitaries_miss(rng):
+    a = random_unitary(4, rng)
+    b = random_unitary(4, rng)
+    assert content_key(a, FINGERPRINT) != content_key(b, FINGERPRINT)
+
+
+def test_same_matrix_different_dtype_layout(rng):
+    unitary = random_unitary(4, rng)
+    assert canonical_unitary_bytes(unitary) == canonical_unitary_bytes(
+        np.asfortranarray(unitary)
+    )
+
+
+def test_tiny_perturbations_below_resolution_collide(rng):
+    """Sub-1e-9 noise (far below any distance QUEST resolves) still hits."""
+    unitary = random_unitary(4, rng)
+    wiggled = unitary * np.exp(1j * 1e-10)
+    assert content_key(unitary, FINGERPRINT) == content_key(
+        wiggled, FINGERPRINT
+    )
+
+
+@pytest.mark.parametrize(
+    "other",
+    [
+        LeapConfig(max_layers=4, target_distance=0.2),  # layer budget
+        LeapConfig(max_layers=3, target_distance=0.1),  # threshold
+        LeapConfig(max_layers=3, target_distance=0.2, solutions_per_layer=5),
+        LeapConfig(max_layers=3, target_distance=0.2, instantiation_starts=7),
+        LeapConfig(
+            max_layers=3, target_distance=0.2, max_optimizer_iterations=9
+        ),
+        LeapConfig(max_layers=3, target_distance=0.2, time_budget=1.0),
+        LeapConfig(max_layers=3, target_distance=0.2, stop_when_exact=True),
+        LeapConfig(max_layers=3, target_distance=0.2, coupling=[(0, 1)]),
+    ],
+)
+def test_differing_leap_config_fields_miss(rng, other):
+    unitary = random_unitary(4, rng)
+    assert other.fingerprint() != FINGERPRINT
+    assert content_key(unitary, other.fingerprint()) != content_key(
+        unitary, FINGERPRINT
+    )
+
+
+def test_seed_is_not_part_of_the_fingerprint():
+    """Seed policy is mixed in via entry_key, never the fingerprint."""
+    assert (
+        LeapConfig(max_layers=3, seed=1).fingerprint()
+        == LeapConfig(max_layers=3, seed=2).fingerprint()
+    )
+    content = "ab" * 32
+    assert entry_key(content, 1) != entry_key(content, 2)
+    assert entry_key(content, 1) == entry_key(content, 1)
+
+
+# ----------------------------------------------------------------------
+# Store behaviour
+# ----------------------------------------------------------------------
+def test_memory_roundtrip():
+    cache = PoolCache()
+    key = entry_key("c" * 64, 3)
+    assert cache.get(key) is None
+    cache.put(key, _solutions())
+    got = cache.get(key)
+    assert got is not None and len(got) == 1
+    assert got[0].cnot_count == 1
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_disk_roundtrip_across_instances(tmp_path):
+    key = entry_key("d" * 64, 5)
+    PoolCache(tmp_path).put(key, _solutions())
+    fresh = PoolCache(tmp_path)
+    got = fresh.get(key)
+    assert got is not None
+    assert got[0].circuit.cnot_count() == 1
+    assert fresh.hits == 1
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    [
+        b"",  # empty file
+        b"not a pickle at all",
+        os.urandom(64),  # random bytes
+    ],
+    ids=["empty", "text", "random"],
+)
+def test_corrupt_disk_entries_are_misses(tmp_path, corruption):
+    key = entry_key("e" * 64, 5)
+    cache = PoolCache(tmp_path)
+    cache.put(key, _solutions())
+    (path,) = tmp_path.glob("*.qpool")
+    path.write_bytes(corruption)
+    fresh = PoolCache(tmp_path)
+    assert fresh.get(key) is None
+    # Recompute path: a put after the miss repairs the entry.
+    fresh.put(key, _solutions())
+    assert PoolCache(tmp_path).get(key) is not None
+
+
+def test_truncated_disk_entry_is_a_miss(tmp_path):
+    """A partially-written (crash mid-write) file never poisons a run."""
+    key = entry_key("f" * 64, 5)
+    cache = PoolCache(tmp_path)
+    cache.put(key, _solutions())
+    (path,) = tmp_path.glob("*.qpool")
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    assert PoolCache(tmp_path).get(key) is None
+
+
+def test_checksum_mismatch_is_a_miss(tmp_path):
+    """A well-formed envelope with a tampered payload is rejected."""
+    key = entry_key("a" * 64, 5)
+    cache = PoolCache(tmp_path)
+    cache.put(key, _solutions())
+    (path,) = tmp_path.glob("*.qpool")
+    envelope = pickle.loads(path.read_bytes())
+    envelope["payload"] = envelope["payload"][:-1] + b"\x00"
+    path.write_bytes(pickle.dumps(envelope))
+    assert PoolCache(tmp_path).get(key) is None
+
+
+def test_wrong_version_or_key_is_a_miss(tmp_path):
+    key = entry_key("b" * 64, 5)
+    cache = PoolCache(tmp_path)
+    cache.put(key, _solutions())
+    (path,) = tmp_path.glob("*.qpool")
+    good = pickle.loads(path.read_bytes())
+
+    stale = dict(good, version=CACHE_VERSION + 1)
+    path.write_bytes(pickle.dumps(stale))
+    assert PoolCache(tmp_path).get(key) is None
+
+    mislabeled = dict(good, key=entry_key("b" * 64, 6))
+    path.write_bytes(pickle.dumps(mislabeled))
+    assert PoolCache(tmp_path).get(key) is None
+
+    # The unmodified envelope still loads, proving the rejections above
+    # came from the tampering and not the roundtrip itself.
+    path.write_bytes(pickle.dumps(good))
+    assert PoolCache(tmp_path).get(key) is not None
+
+
+def test_payload_type_is_validated(tmp_path):
+    """An entry whose payload is not a solution list is a miss."""
+    key = entry_key("9" * 64, 5)
+    cache = PoolCache(tmp_path)
+    cache.put(key, _solutions())
+    (path,) = tmp_path.glob("*.qpool")
+    envelope = pickle.loads(path.read_bytes())
+    import hashlib
+
+    payload = pickle.dumps(["definitely", "not", "solutions"])
+    envelope["payload"] = payload
+    envelope["checksum"] = hashlib.sha256(payload).hexdigest()
+    path.write_bytes(pickle.dumps(envelope))
+    assert PoolCache(tmp_path).get(key) is None
+
+
+def test_leftover_tmp_files_are_ignored(tmp_path):
+    """An abandoned temp file from a crashed writer is not an entry."""
+    key = entry_key("7" * 64, 5)
+    (tmp_path / f"{key}.tmp.12345").write_bytes(b"half-written")
+    assert PoolCache(tmp_path).get(key) is None

@@ -1,0 +1,186 @@
+"""Fault injection and accounting tests for the synthesis executor.
+
+The injected worker tasks are module-level functions so the process-pool
+path can pickle them by reference.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.parallel.executor as executor_module
+from repro.algorithms import tfim
+from repro.core.quest import QuestConfig, QuestTimings, run_quest
+from repro.parallel.cache import PoolCache
+from repro.parallel.executor import (
+    BlockSynthesisExecutor,
+    _synthesize_solutions_task,
+)
+from repro.partition.scan import scan_partition
+from repro.transpile.basis import lower_to_basis
+
+CONFIG = QuestConfig(
+    seed=3,
+    max_samples=3,
+    max_block_qubits=2,
+    max_layers_per_block=2,
+    solutions_per_layer=2,
+    instantiation_starts=1,
+    max_optimizer_iterations=40,
+    annealing_maxiter=40,
+    threshold_per_block=0.25,
+    sphere_variants_per_count=2,
+    block_time_budget=None,
+)
+
+
+def _blocks():
+    baseline = lower_to_basis(tfim(4, steps=1).without_measurements())
+    return scan_partition(baseline, CONFIG.max_block_qubits)
+
+
+def _seeds(blocks):
+    rng = np.random.default_rng(CONFIG.seed)
+    return [int(rng.integers(2**31 - 1)) for _ in blocks]
+
+
+# Injected worker tasks ------------------------------------------------
+def always_raises(block, config, seed):
+    raise RuntimeError("injected synthesis failure")
+
+
+def raises_for_first_block(block, config, seed):
+    if block.index == 0:
+        raise RuntimeError("injected failure for block 0")
+    return _synthesize_solutions_task(block, config, seed)
+
+
+def sleeps_forever(block, config, seed):
+    time.sleep(5.0)
+    return [], 5.0
+
+
+# ----------------------------------------------------------------------
+# Fallback semantics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2], ids=["inline", "process-pool"])
+def test_raising_worker_degrades_to_exact_pool(workers):
+    blocks = _blocks()
+    runner = BlockSynthesisExecutor(workers=workers, synthesize_fn=always_raises)
+    with pytest.warns(RuntimeWarning, match="falling back to the exact block"):
+        pools, stats = runner.run(blocks, CONFIG, _seeds(blocks))
+    assert len(pools) == len(blocks)
+    nontrivial = [
+        i
+        for i, b in enumerate(blocks)
+        if b.num_qubits > 1 and b.circuit.cnot_count() > 0
+    ]
+    assert stats.fallback_blocks == nontrivial
+    for index in nontrivial:
+        pool = pools[index]
+        # The exact-block singleton: one candidate, distance zero, the
+        # original circuit itself.
+        assert pool.size == 1
+        assert pool.candidates[0].distance == 0.0
+        assert pool.candidates[0].circuit == blocks[index].circuit
+
+
+def test_partial_failure_only_degrades_the_failing_block():
+    blocks = _blocks()
+    runner = BlockSynthesisExecutor(
+        workers=1, synthesize_fn=raises_for_first_block
+    )
+    with pytest.warns(RuntimeWarning):
+        pools, stats = runner.run(blocks, CONFIG, _seeds(blocks))
+    assert stats.fallback_blocks == [0]
+    assert pools[0].size == 1
+    # At least one healthy block still produced real approximations.
+    assert any(pool.size > 1 for pool in pools[1:])
+
+
+def test_timed_out_worker_degrades_to_exact_pool():
+    blocks = _blocks()[:1]
+    runner = BlockSynthesisExecutor(
+        workers=2, hard_timeout=0.3, synthesize_fn=sleeps_forever
+    )
+    start = time.perf_counter()
+    with pytest.warns(RuntimeWarning, match="TimeoutError"):
+        pools, stats = runner.run(blocks, CONFIG, _seeds(blocks))
+    elapsed = time.perf_counter() - start
+    assert stats.fallback_blocks == [0]
+    assert pools[0].size == 1
+    # The run must not have waited for the hung worker's full sleep.
+    assert elapsed < 4.0
+
+
+def test_run_quest_completes_despite_universal_worker_failure(monkeypatch):
+    monkeypatch.setattr(
+        executor_module, "_synthesize_solutions_task", always_raises
+    )
+    with pytest.warns(RuntimeWarning):
+        result = run_quest(tfim(4, steps=1), CONFIG)
+    # Every pool degraded to the exact block, so QUEST returns the
+    # baseline itself: a completed run, never a crash.
+    assert result.circuits
+    assert result.synthesis_fallbacks
+    assert result.best_cnot_count == result.original_cnot_count
+    # Timings still reconcile after the fallback path.
+    timings = result.timings
+    assert timings.total_seconds == pytest.approx(
+        timings.partition_seconds
+        + timings.synthesis_seconds
+        + timings.annealing_seconds
+    )
+
+
+# ----------------------------------------------------------------------
+# Accounting
+# ----------------------------------------------------------------------
+def test_timings_total_reconciles_with_per_block_list():
+    timings = QuestTimings(
+        partition_seconds=0.5,
+        synthesis_seconds=2.0,
+        annealing_seconds=1.0,
+        block_synthesis_seconds=[0.9, 0.0, 0.8],
+    )
+    # The per-block entries are detail *within* synthesis_seconds, not an
+    # extra term: the total is exactly the three phases.
+    assert timings.total_seconds == pytest.approx(3.5)
+
+
+def test_stats_counters_partition_the_blocks():
+    blocks = _blocks()
+    seeds = _seeds(blocks)
+    trivial = sum(
+        1
+        for b in blocks
+        if b.num_qubits == 1 or b.circuit.cnot_count() == 0
+    )
+    pools, stats = BlockSynthesisExecutor(
+        workers=1, cache=PoolCache()
+    ).run(blocks, CONFIG, seeds)
+    assert stats.cache_hits + stats.cache_misses + trivial == len(blocks)
+    assert len(stats.block_seconds) == len(blocks)
+    # Only synthesized blocks carry nonzero per-block time.
+    assert sum(1 for s in stats.block_seconds if s > 0) == stats.cache_misses
+
+    pools_nc, stats_nc = BlockSynthesisExecutor(workers=1).run(
+        blocks, CONFIG, seeds
+    )
+    assert stats_nc.cache_hits == 0
+    assert stats_nc.cache_misses == len(blocks) - trivial
+    # Cache on and off produce identical pools.
+    for a, b in zip(pools, pools_nc):
+        assert a.cnot_counts().tolist() == b.cnot_counts().tolist()
+        assert a.distances().tolist() == b.distances().tolist()
+
+
+def test_executor_argument_validation():
+    with pytest.raises(ValueError, match="workers"):
+        BlockSynthesisExecutor(workers=0)
+    blocks = _blocks()
+    with pytest.raises(ValueError, match="seeds"):
+        BlockSynthesisExecutor().run(blocks, CONFIG, [1, 2])
