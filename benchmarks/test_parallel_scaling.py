@@ -114,7 +114,14 @@ def test_parallel_scaling_smoke(tmp_path):
                     cached.timings.synthesis_seconds,
                 "cold_cache_hits": cold.cache_hits,
                 "cached_cache_hits": cached.cache_hits,
-                "cnot_counts": serial.cnot_counts,
+                "original_cnot_count": serial.original_cnot_count,
+                "selected_cnot_counts": serial.cnot_counts,
+                # Distinct CNOT counts synthesized per block pool — the
+                # LEAP levels actually available to the selector.
+                "pool_cnot_levels": [
+                    sorted({int(c) for c in pool.cnot_counts()})
+                    for pool in serial.pools
+                ],
             },
             indent=2,
         )

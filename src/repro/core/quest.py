@@ -88,6 +88,12 @@ class QuestTimings:
     #: trivial blocks and cache hits.  With ``workers > 1`` the entries
     #: overlap in wall time, so their sum can exceed ``synthesis_seconds``.
     block_synthesis_seconds: list[float] = field(default_factory=list)
+    #: Accumulated seconds spent evaluating the selected ensemble under a
+    #: noise model via :meth:`QuestResult.noisy_ensemble`.  Post-pipeline
+    #: work (the paper's Sec. 5 evaluation loop), so it is tracked
+    #: separately from the three pipeline phases and excluded from
+    #: ``total_seconds``.
+    noisy_eval_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -155,6 +161,42 @@ class QuestResult:
             f"{self.original_cnot_count} -> {sorted(self.cnot_counts)} "
             f"({100 * self.cnot_reduction:.0f}% mean reduction)"
         )
+
+    def noisy_ensemble(
+        self,
+        noise,
+        trajectories: int = 1000,
+        rng: np.random.Generator | int | None = None,
+        batched: bool = True,
+    ) -> np.ndarray:
+        """Averaged noisy output distribution of the selected ensemble.
+
+        Evaluates every selected approximation under ``noise`` (exact
+        density matrix below the qubit cap, batched Pauli trajectories
+        above it) and returns the pointwise mean — the quantity the paper
+        compares against the ideal distribution in Sec. 5.  Wall time is
+        accumulated into ``timings.noisy_eval_seconds``.
+        """
+        from repro.metrics.distances import average_distributions
+        from repro.noise import noisy_distribution
+
+        if not self.circuits:
+            raise SelectionError("no selected circuits to evaluate")
+        rng = np.random.default_rng(rng)
+        start = time.perf_counter()
+        distributions = [
+            noisy_distribution(
+                circuit,
+                noise,
+                trajectories=trajectories,
+                rng=rng,
+                batched=batched,
+            )
+            for circuit in self.circuits
+        ]
+        averaged = average_distributions(distributions)
+        self.timings.noisy_eval_seconds += time.perf_counter() - start
+        return averaged
 
 
 def _synthesize_block(

@@ -3,6 +3,7 @@
 from repro.linalg.embed import (
     apply_gate_to_matrix,
     apply_gate_to_state,
+    apply_gate_to_states,
     embed_unitary,
 )
 from repro.linalg.su2 import u3_params, zyz_decompose, zyz_reconstruct
@@ -27,6 +28,7 @@ from repro.linalg.weyl import (
 
 __all__ = [
     "apply_gate_to_state",
+    "apply_gate_to_states",
     "apply_gate_to_matrix",
     "embed_unitary",
     "hs_inner",

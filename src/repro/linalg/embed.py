@@ -52,6 +52,41 @@ def apply_gate_to_state(
     return np.ascontiguousarray(out.reshape(state.shape))
 
 
+def apply_gate_to_states(
+    states: np.ndarray, gate: np.ndarray, qubits: tuple[int, ...], num_qubits: int
+) -> np.ndarray:
+    """Apply a ``2^k x 2^k`` gate to every row of a ``(T, 2^n)`` batch.
+
+    The batched analogue of :func:`apply_gate_to_state`: one ``tensordot``
+    evolves all ``T`` statevectors at once, which is what makes the
+    Monte-Carlo trajectory sampler fast (the whole trajectory batch moves
+    through each gate in a single contraction instead of ``T`` Python
+    calls).  Returns a new ``(T, 2^n)`` array; the input is not modified.
+    """
+    _check_targets(qubits, num_qubits)
+    k = len(qubits)
+    if gate.shape != (2**k, 2**k):
+        raise SimulationError(
+            f"gate shape {gate.shape} does not match {k} target qubit(s)"
+        )
+    if states.ndim != 2 or states.shape[1] != 2**num_qubits:
+        raise SimulationError(
+            f"batch shape {states.shape} is not (T, 2**{num_qubits})"
+        )
+    batch = states.shape[0]
+    tensor = states.reshape((batch,) + (2,) * num_qubits)
+    gate_tensor = gate.reshape((2,) * (2 * k))
+    # Same axis bookkeeping as apply_gate_to_state, shifted by the leading
+    # batch axis: qubit q lives on axis 1 + (num_qubits - 1 - q).
+    state_axes = [1 + num_qubits - 1 - qubits[k - 1 - i] for i in range(k)]
+    out = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), state_axes))
+    # tensordot leaves the k gate-output axes in front and the remaining
+    # tensor axes (batch first) in their original relative order; moving
+    # the gate outputs back to state_axes restores the layout.
+    out = np.moveaxis(out, range(k), state_axes)
+    return np.ascontiguousarray(out.reshape(states.shape))
+
+
 def apply_gate_to_matrix(
     matrix: np.ndarray, gate: np.ndarray, qubits: tuple[int, ...], num_qubits: int
 ) -> np.ndarray:
@@ -79,6 +114,30 @@ def apply_gate_to_matrix(
 _IDENTITIES = {k: np.eye(2**k, dtype=complex) for k in range(0, 12)}
 
 
+def _identity(k: int) -> np.ndarray:
+    """Cached ``2^k`` identity; falls back to a fresh ``np.eye`` beyond the
+    pre-built cache (the fast path used to raise a bare ``KeyError`` for
+    one-qubit embeddings past 12 qubits)."""
+    matrix = _IDENTITIES.get(k)
+    if matrix is None:
+        matrix = np.eye(2**k, dtype=complex)
+    return matrix
+
+
+def _kron(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Kronecker product of two 2-D arrays.
+
+    Bit-identical to ``np.kron`` (every element is the same single
+    product ``a[i, j] * b[k, l]``) but skips its generic-ndim axis
+    bookkeeping, which dominates the synthesis gradient hot loop where
+    thousands of tiny embeddings are built per optimizer step.
+    """
+    rows_a, cols_a = a.shape
+    rows_b, cols_b = b.shape
+    out = a[:, None, :, None] * b[None, :, None, :]
+    return out.reshape(rows_a * rows_b, cols_a * cols_b)
+
+
 def embed_unitary(
     gate: np.ndarray, qubits: tuple[int, ...], num_qubits: int
 ) -> np.ndarray:
@@ -92,8 +151,8 @@ def embed_unitary(
     if len(qubits) == 1 and gate.shape == (2, 2):
         q = qubits[0]
         _check_targets(qubits, num_qubits)
-        low = _IDENTITIES[q]
-        high = _IDENTITIES[num_qubits - 1 - q]
-        return np.kron(high, np.kron(gate, low))
+        low = _identity(q)
+        high = _identity(num_qubits - 1 - q)
+        return _kron(high, _kron(gate, low))
     dim = 2**num_qubits
     return apply_gate_to_matrix(np.eye(dim, dtype=complex), gate, qubits, num_qubits)

@@ -20,15 +20,18 @@ from repro.noise.model import (
 from repro.noise.trajectories import run_trajectories
 
 
-def noisy_distribution(circuit, noise, trajectories=1000, rng=None):
+def noisy_distribution(circuit, noise, trajectories=1000, rng=None, batched=True):
     """Noisy output distribution via the best available engine.
 
     Uses the exact density-matrix simulator up to its qubit cap and falls
-    back to Monte-Carlo Pauli trajectories beyond it.
+    back to Monte-Carlo Pauli trajectories beyond it (batched by default;
+    ``batched=False`` selects the scalar reference engine).
     """
     if circuit.num_qubits <= MAX_DENSITY_QUBITS:
         return run_density(circuit, noise)
-    return run_trajectories(circuit, noise, trajectories=trajectories, rng=rng)
+    return run_trajectories(
+        circuit, noise, trajectories=trajectories, rng=rng, batched=batched
+    )
 
 
 __all__ = [

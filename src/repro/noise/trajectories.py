@@ -4,15 +4,33 @@ Scales past the density-matrix cap: each trajectory evolves a statevector
 and stochastically injects a Pauli error after each gate with the model's
 probability.  Averaging many trajectories converges to the density-matrix
 result (a unit test checks this agreement on small circuits).
+
+Two execution engines share one sampling step:
+
+* **batched** (default): all ``T`` trajectories evolve as a single
+  ``(T, 2^n)`` block.  Every gate is one
+  :func:`~repro.linalg.embed.apply_gate_to_states` contraction, and each
+  *distinct* sampled Pauli error is applied to its trajectory sub-batch,
+  so the cost is ``ops x (#distinct errors + 1)`` batched contractions
+  instead of the scalar engine's ``T x ops`` Python-level applications.
+* **scalar**: the historical one-trajectory-at-a-time loop, kept for
+  cross-checking and for memory-constrained runs.
+
+Because the Pauli-error outcomes for every (error site, trajectory) pair
+are pre-sampled *before* evolution — by the same routine, in the same RNG
+order — the two engines produce identical results for a fixed seed (up
+to floating-point associativity), which the unit tests pin.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.exceptions import SimulationError
-from repro.linalg.embed import apply_gate_to_state
+from repro.linalg.embed import apply_gate_to_state, apply_gate_to_states
 from repro.noise.model import (
     ONE_QUBIT_PAULIS,
     TWO_QUBIT_PAULIS,
@@ -26,26 +44,157 @@ _PAULI_CACHE = {label: pauli_matrix(label) for label in ONE_QUBIT_PAULIS}
 _PAULI_CACHE.update({label: pauli_matrix(label) for label in TWO_QUBIT_PAULIS})
 
 
-def _inject_error(
-    state: np.ndarray,
-    qubits: tuple[int, ...],
-    num_qubits: int,
-    rng: np.random.Generator,
-    probability: float,
-    labels: tuple[str, ...],
-) -> np.ndarray:
-    if probability <= 0.0 or rng.random() >= probability:
-        return state
-    label = labels[rng.integers(len(labels))]
+@dataclass(frozen=True)
+class _ErrorSite:
+    """One stochastic Pauli-error insertion point in the unrolled circuit."""
+
+    qubits: tuple[int, ...]
+    probability: float
+    labels: tuple[str, ...]
+
+
+def _pauli_application(
+    label: str, qubits: tuple[int, ...]
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Resolve a sampled label to the (matrix, target qubits) actually applied.
+
+    Two-qubit labels with an identity factor reduce to a one-qubit
+    application (labels are little-endian: the last character acts on the
+    first listed qubit).
+    """
     if len(label) == 2 and label[0] == "I":
-        return apply_gate_to_state(
-            state, _PAULI_CACHE[label[1]], (qubits[0],), num_qubits
-        )
+        return _PAULI_CACHE[label[1]], (qubits[0],)
     if len(label) == 2 and label[1] == "I":
-        return apply_gate_to_state(
-            state, _PAULI_CACHE[label[0]], (qubits[1],), num_qubits
-        )
-    return apply_gate_to_state(state, _PAULI_CACHE[label], qubits, num_qubits)
+        return _PAULI_CACHE[label[0]], (qubits[1],)
+    return _PAULI_CACHE[label], qubits
+
+
+def _error_sites(
+    ops: list, num_qubits: int, noise: NoiseModel
+) -> list[list[_ErrorSite]]:
+    """Enumerate the error sites following each operation, in order.
+
+    Mirrors the channel structure of :func:`repro.noise.density.run_density`:
+    one-qubit gates draw from the 3 Paulis, two-qubit gates from the 15,
+    wider gates are charged one two-qubit channel per consecutive pair,
+    and idle qubits decohere once per operation.
+    """
+    per_op: list[list[_ErrorSite]] = []
+    for op in ops:
+        sites: list[_ErrorSite] = []
+        arity = len(op.qubits)
+        if arity == 1:
+            sites.append(
+                _ErrorSite(op.qubits, noise.one_qubit_error, ONE_QUBIT_PAULIS)
+            )
+        elif arity == 2:
+            sites.append(
+                _ErrorSite(op.qubits, noise.two_qubit_error, TWO_QUBIT_PAULIS)
+            )
+        else:
+            for i in range(arity - 1):
+                sites.append(
+                    _ErrorSite(
+                        (op.qubits[i], op.qubits[i + 1]),
+                        noise.two_qubit_error,
+                        TWO_QUBIT_PAULIS,
+                    )
+                )
+        if noise.idle_decoherence > 0.0:
+            for qubit in range(num_qubits):
+                if qubit not in op.qubits:
+                    sites.append(
+                        _ErrorSite(
+                            (qubit,), noise.idle_decoherence, ONE_QUBIT_PAULIS
+                        )
+                    )
+        per_op.append(sites)
+    return per_op
+
+
+def _sample_outcomes(
+    sites: list[_ErrorSite], trajectories: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Pre-sample every (site, trajectory) error outcome.
+
+    Returns an ``(num_sites, T)`` int array: ``-1`` means no error, a
+    non-negative entry indexes into that site's label tuple.  Sampling is
+    vectorized per site, and — crucially — independent of which engine
+    consumes it, so scalar and batched runs share one RNG stream.
+    """
+    outcomes = np.full((len(sites), trajectories), -1, dtype=np.int64)
+    for row, site in enumerate(sites):
+        if site.probability <= 0.0:
+            continue
+        hits = rng.random(trajectories) < site.probability
+        count = int(np.count_nonzero(hits))
+        if count:
+            outcomes[row, hits] = rng.integers(len(site.labels), size=count)
+    return outcomes
+
+
+def _evolve_batched(
+    ops: list,
+    gate_matrices: list[np.ndarray],
+    sites_per_op: list[list[_ErrorSite]],
+    outcomes: np.ndarray,
+    num_qubits: int,
+    trajectories: int,
+) -> np.ndarray:
+    """Evolve all trajectories as one batch; returns the summed distribution."""
+    dim = 2**num_qubits
+    states = np.zeros((trajectories, dim), dtype=complex)
+    states[:, 0] = 1.0
+    row = 0
+    for op, gate, sites in zip(ops, gate_matrices, sites_per_op):
+        states = apply_gate_to_states(states, gate, op.qubits, num_qubits)
+        for site in sites:
+            sampled = outcomes[row]
+            row += 1
+            hit = sampled >= 0
+            if not hit.any():
+                continue
+            for label_index in np.unique(sampled[hit]):
+                mask = sampled == label_index
+                matrix, qubits = _pauli_application(
+                    site.labels[int(label_index)], site.qubits
+                )
+                states[mask] = apply_gate_to_states(
+                    states[mask], matrix, qubits, num_qubits
+                )
+    probs = np.abs(states) ** 2
+    totals = probs.sum(axis=1)
+    if not np.allclose(totals, 1.0, atol=1e-6):
+        raise SimulationError("trajectory states lost normalization")
+    return (probs / totals[:, None]).sum(axis=0)
+
+
+def _evolve_scalar(
+    ops: list,
+    gate_matrices: list[np.ndarray],
+    sites_per_op: list[list[_ErrorSite]],
+    outcomes: np.ndarray,
+    num_qubits: int,
+    trajectories: int,
+) -> np.ndarray:
+    """One-trajectory-at-a-time evolution over the same sampled outcomes."""
+    accumulated = np.zeros(2**num_qubits)
+    for trajectory in range(trajectories):
+        state = zero_state(num_qubits)
+        row = 0
+        for op, gate, sites in zip(ops, gate_matrices, sites_per_op):
+            state = apply_gate_to_state(state, gate, op.qubits, num_qubits)
+            for site in sites:
+                label_index = outcomes[row, trajectory]
+                row += 1
+                if label_index < 0:
+                    continue
+                matrix, qubits = _pauli_application(
+                    site.labels[int(label_index)], site.qubits
+                )
+                state = apply_gate_to_state(state, matrix, qubits, num_qubits)
+        accumulated += probabilities(state)
+    return accumulated
 
 
 def run_trajectories(
@@ -53,66 +202,31 @@ def run_trajectories(
     noise: NoiseModel,
     trajectories: int = 1000,
     rng: np.random.Generator | int | None = None,
+    batched: bool = True,
 ) -> np.ndarray:
     """Estimate the noisy output distribution from Pauli trajectories.
 
     Each trajectory contributes its full analytic Born distribution (not a
     single shot), which sharply reduces the sampling variance for a given
-    trajectory budget.
+    trajectory budget.  ``batched=True`` (default) evolves all
+    trajectories as one ``(T, 2^n)`` block; ``batched=False`` selects the
+    scalar reference engine.  Both consume the same pre-sampled error
+    outcomes, so the choice does not change the result for a fixed seed.
     """
     if trajectories < 1:
         raise SimulationError("need at least one trajectory")
     rng = np.random.default_rng(rng)
     num_qubits = circuit.num_qubits
     ops = [op for op in circuit.operations if op.name not in ("measure", "barrier")]
-    accumulated = np.zeros(2**num_qubits)
-    for _ in range(trajectories):
-        state = zero_state(num_qubits)
-        for op in ops:
-            state = apply_gate_to_state(
-                state, op.gate.matrix(), op.qubits, num_qubits
-            )
-            arity = len(op.qubits)
-            if arity == 1:
-                state = _inject_error(
-                    state,
-                    op.qubits,
-                    num_qubits,
-                    rng,
-                    noise.one_qubit_error,
-                    ONE_QUBIT_PAULIS,
-                )
-            elif arity == 2:
-                state = _inject_error(
-                    state,
-                    op.qubits,
-                    num_qubits,
-                    rng,
-                    noise.two_qubit_error,
-                    TWO_QUBIT_PAULIS,
-                )
-            else:
-                for i in range(arity - 1):
-                    pair = (op.qubits[i], op.qubits[i + 1])
-                    state = _inject_error(
-                        state,
-                        pair,
-                        num_qubits,
-                        rng,
-                        noise.two_qubit_error,
-                        TWO_QUBIT_PAULIS,
-                    )
-            if noise.idle_decoherence > 0.0:
-                for qubit in range(num_qubits):
-                    if qubit not in op.qubits:
-                        state = _inject_error(
-                            state,
-                            (qubit,),
-                            num_qubits,
-                            rng,
-                            noise.idle_decoherence,
-                            ONE_QUBIT_PAULIS,
-                        )
-        accumulated += probabilities(state)
+    # Hoist the gate matrices: they are per-circuit constants and used to
+    # be rebuilt T x ops times by the scalar loop.
+    gate_matrices = [op.gate.matrix() for op in ops]
+    sites_per_op = _error_sites(ops, num_qubits, noise)
+    flat_sites = [site for sites in sites_per_op for site in sites]
+    outcomes = _sample_outcomes(flat_sites, trajectories, rng)
+    engine = _evolve_batched if batched else _evolve_scalar
+    accumulated = engine(
+        ops, gate_matrices, sites_per_op, outcomes, num_qubits, trajectories
+    )
     probs = accumulated / trajectories
     return apply_readout_error(probs, num_qubits, noise.readout_error)

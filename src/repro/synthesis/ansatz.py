@@ -68,12 +68,21 @@ class Ansatz:
             raise SynthesisError("parameter indices must be 0..P-1 in some order")
         self.num_params = len(indices)
         self._dim = 2**self.num_qubits
-        # Fixed-slot embeddings never change; cache them once.
+        # Fixed-slot embeddings never change; cache them once.  Rotation
+        # slots get their embedded derivative generator ``-i/2 * P``
+        # cached too: the derivative of an embedded rotation is then one
+        # small matmul (generator_embed @ rotation_embed) per optimizer
+        # step instead of a fresh gate build + Kronecker embedding.
         self._fixed_embeds: dict[int, np.ndarray] = {}
+        self._generator_embeds: dict[int, np.ndarray] = {}
         for position, slot in enumerate(self.slots):
             if slot.param_index is None:
                 self._fixed_embeds[position] = embed_unitary(
                     gate_matrix(slot.name), slot.qubits, self.num_qubits
+                )
+            else:
+                self._generator_embeds[position] = embed_unitary(
+                    -0.5j * _PAULI[slot.name], slot.qubits, self.num_qubits
                 )
 
     # ------------------------------------------------------------------
@@ -108,14 +117,8 @@ class Ansatz:
             )
         return unitary
 
-    def unitary_and_gradient(
-        self, params: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``U(params)`` and ``dU/dtheta`` for every parameter.
-
-        The gradient is an array of shape ``(num_params, dim, dim)``.
-        """
-        dim = self._dim
+    def _slot_embeds(self, params: np.ndarray) -> list[np.ndarray]:
+        """Embedded slot unitaries for a parameter vector."""
         embeds: list[np.ndarray] = []
         for position, slot in enumerate(self.slots):
             if slot.param_index is None:
@@ -123,6 +126,20 @@ class Ansatz:
             else:
                 gate = _ROTATION_BUILDERS[slot.name](float(params[slot.param_index]))
                 embeds.append(embed_unitary(gate, slot.qubits, self.num_qubits))
+        return embeds
+
+    def unitary_and_gradient(
+        self, params: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``U(params)`` and ``dU/dtheta`` for every parameter.
+
+        The gradient is an array of shape ``(num_params, dim, dim)``.
+        The instantiation hot loop does not use this — it calls
+        :meth:`trace_and_gradient`, which never materializes the full
+        gradient tensor; this remains the general-purpose entry point.
+        """
+        dim = self._dim
+        embeds = self._slot_embeds(params)
         # Prefix products: prefixes[k] = E_k ... E_1 (prefixes[0] = I).
         prefixes = [np.eye(dim, dtype=complex)]
         for embed in embeds:
@@ -133,18 +150,49 @@ class Ansatz:
         for position in range(len(self.slots) - 1, -1, -1):
             slot = self.slots[position]
             if slot.param_index is not None:
-                theta = float(params[slot.param_index])
-                derivative_gate = (
-                    -0.5j * _PAULI[slot.name] @ _ROTATION_BUILDERS[slot.name](theta)
-                )
-                derivative_embed = embed_unitary(
-                    derivative_gate, slot.qubits, self.num_qubits
+                derivative_embed = (
+                    self._generator_embeds[position] @ embeds[position]
                 )
                 gradient[slot.param_index] = (
                     suffix @ derivative_embed @ prefixes[position]
                 )
             suffix = suffix @ embeds[position]
         return unitary, gradient
+
+    def trace_and_gradient(
+        self, params: np.ndarray, target_conj: np.ndarray
+    ) -> tuple[complex, np.ndarray]:
+        """Return ``Tr(V^dag U)`` and its derivative for every parameter.
+
+        ``target_conj`` is the elementwise conjugate of the target ``V``
+        (so the trace is ``sum(target_conj * U)``).  Each derivative
+        ``Tr(V^dag * S_p D_p P_p)`` is contracted against the target
+        *inside* the backward sweep, so no ``(num_params, dim, dim)``
+        gradient tensor is ever allocated — this is the L-BFGS hot path
+        of :func:`repro.synthesis.instantiate.instantiate`.  The product
+        chain and contraction order match :meth:`unitary_and_gradient`
+        exactly, so the optimizer sees bit-identical values.
+        """
+        dim = self._dim
+        embeds = self._slot_embeds(params)
+        prefixes = [np.eye(dim, dtype=complex)]
+        for embed in embeds:
+            prefixes.append(embed @ prefixes[-1])
+        trace = complex(np.add.reduce(target_conj * prefixes[-1], axis=None))
+        dtraces = np.zeros(self.num_params, dtype=complex)
+        suffix = np.eye(dim, dtype=complex)
+        for position in range(len(self.slots) - 1, -1, -1):
+            slot = self.slots[position]
+            if slot.param_index is not None:
+                derivative_embed = (
+                    self._generator_embeds[position] @ embeds[position]
+                )
+                dtraces[slot.param_index] = np.add.reduce(
+                    target_conj * (suffix @ derivative_embed @ prefixes[position]),
+                    axis=None,
+                )
+            suffix = suffix @ embeds[position]
+        return trace, dtraces
 
     def _slot_matrix(
         self, position: int, slot: Slot, params: np.ndarray

@@ -38,9 +38,11 @@ class InstantiationResult:
 def _cost_and_gradient(
     params: np.ndarray, ansatz: Ansatz, target_conj: np.ndarray, dim: int
 ) -> tuple[float, np.ndarray]:
-    # Tr(V^dag U) == sum(conj(V) * U) elementwise.
-    unitary, gradient = ansatz.unitary_and_gradient(params)
-    trace = np.sum(target_conj * unitary)
+    # Tr(V^dag U) == sum(conj(V) * U) elementwise.  The trace-only path
+    # contracts each per-parameter derivative against the target inside
+    # the ansatz's prefix/suffix sweep, so the L-BFGS hot loop never
+    # materializes the (num_params, dim, dim) gradient tensor.
+    trace, dtraces = ansatz.trace_and_gradient(params, target_conj)
     magnitude = abs(trace)
     cost = 1.0 - magnitude / dim
     if magnitude < 1e-14:
@@ -48,7 +50,6 @@ def _cost_and_gradient(
         # the optimizer escape via its own line-search perturbations.
         return cost, np.zeros(ansatz.num_params)
     phase = np.conj(trace) / magnitude
-    dtraces = np.sum(target_conj[None, :, :] * gradient, axis=(1, 2))
     grad = -np.real(phase * dtraces) / dim
     return cost, grad
 

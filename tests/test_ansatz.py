@@ -68,6 +68,34 @@ def test_gradient_shapes(rng):
     assert gradient.shape == (ansatz.num_params, 8, 8)
 
 
+def test_trace_and_gradient_matches_full_gradient(rng):
+    ansatz = build_leap_ansatz(3, [(0, 1), (1, 2)])
+    target = random_unitary(8, rng)
+    target_conj = target.conj()
+    params = rng.uniform(-np.pi, np.pi, ansatz.num_params)
+    unitary, gradient = ansatz.unitary_and_gradient(params)
+    trace, dtraces = ansatz.trace_and_gradient(params, target_conj)
+    assert trace == pytest.approx(complex(np.sum(target_conj * unitary)))
+    expected = np.sum(target_conj[None, :, :] * gradient, axis=(1, 2))
+    assert np.allclose(dtraces, expected, atol=1e-10)
+
+
+def test_instantiate_avoids_full_gradient_tensor(rng, monkeypatch):
+    # The L-BFGS hot loop must use the trace-only sweep, never the
+    # (num_params, dim, dim) tensor from unitary_and_gradient.
+    from repro.synthesis.instantiate import instantiate
+
+    def _boom(self, params):
+        raise AssertionError("unitary_and_gradient called in the hot loop")
+
+    monkeypatch.setattr(Ansatz, "unitary_and_gradient", _boom)
+    ansatz = build_leap_ansatz(2, [(0, 1)])
+    truth = rng.uniform(-np.pi, np.pi, ansatz.num_params)
+    target = ansatz.unitary(truth)
+    result = instantiate(ansatz, target, rng=rng, starts=2)
+    assert result.cost < 1e-8
+
+
 def test_bad_placement_rejected():
     with pytest.raises(SynthesisError):
         build_leap_ansatz(2, [(1, 1)])

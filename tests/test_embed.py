@@ -4,10 +4,17 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.circuits import gate_matrix, random_unitary
 from repro.exceptions import SimulationError
-from repro.linalg import apply_gate_to_matrix, apply_gate_to_state, embed_unitary
+from repro.linalg import (
+    apply_gate_to_matrix,
+    apply_gate_to_state,
+    apply_gate_to_states,
+    embed_unitary,
+)
 
 
 def test_one_qubit_embedding_matches_kron(rng):
@@ -90,3 +97,101 @@ def test_embedding_is_unitary(rng):
     gate = random_unitary(4, rng)
     embedded = embed_unitary(gate, (2, 0), 3)
     assert np.allclose(embedded.conj().T @ embedded, np.eye(8), atol=1e-10)
+
+
+def test_one_qubit_fast_path_beyond_identity_cache(monkeypatch, rng):
+    # The fast Kronecker path used to index a fixed identity cache and
+    # raise a bare KeyError past 12 qubits; it must now fall back to a
+    # fresh np.eye.  Shrinking the cache exercises the fallback without
+    # allocating a 2^13-dim operator.
+    from repro.linalg import embed as embed_module
+
+    monkeypatch.setattr(
+        embed_module,
+        "_IDENTITIES",
+        {k: np.eye(2**k, dtype=complex) for k in range(2)},
+    )
+    gate = random_unitary(2, rng)
+    for qubit in range(4):
+        dense = embed_module.embed_unitary(gate, (qubit,), 4)
+        expected = embed_module.apply_gate_to_matrix(
+            np.eye(16, dtype=complex), gate, (qubit,), 4
+        )
+        assert np.allclose(dense, expected, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Batched application
+# ----------------------------------------------------------------------
+
+def test_batched_matches_per_state(rng):
+    n = 4
+    batch = np.linalg.qr(
+        rng.standard_normal((2**n, 7)) + 1j * rng.standard_normal((2**n, 7))
+    )[0].T
+    gate = random_unitary(4, rng)
+    for qubits in [(0, 2), (3, 1), (2, 3), (1, 0)]:
+        out = apply_gate_to_states(batch, gate, qubits, n)
+        for row in range(batch.shape[0]):
+            expected = apply_gate_to_state(batch[row], gate, qubits, n)
+            assert np.allclose(out[row], expected, atol=1e-12)
+
+
+def test_batched_single_row_matches_state(rng):
+    state = random_unitary(8, rng)[:, 0]
+    gate = random_unitary(2, rng)
+    out = apply_gate_to_states(state[None, :], gate, (1,), 3)
+    assert np.allclose(out[0], apply_gate_to_state(state, gate, (1,), 3))
+
+
+def test_batched_input_not_modified(rng):
+    batch = random_unitary(4, rng)[:2, :].copy()
+    before = batch.copy()
+    apply_gate_to_states(batch, gate_matrix("cx"), (0, 1), 2)
+    assert np.array_equal(batch, before)
+
+
+def test_batched_shape_validation(rng):
+    gate = random_unitary(2, rng)
+    with pytest.raises(SimulationError):
+        apply_gate_to_states(np.zeros(4, dtype=complex), gate, (0,), 2)
+    with pytest.raises(SimulationError):
+        apply_gate_to_states(np.zeros((3, 5), dtype=complex), gate, (0,), 2)
+    with pytest.raises(SimulationError):
+        apply_gate_to_states(np.zeros((3, 4), dtype=complex), gate, (0, 0), 2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_qubits=st.integers(2, 5),
+    batch=st.integers(1, 6),
+    gate_arity=st.integers(1, 2),
+)
+def test_batched_property_matches_per_state(seed, num_qubits, batch, gate_arity):
+    """The batched kernel equals row-by-row application for random gates
+    and targets — including non-adjacent and reversed qubit tuples."""
+    rng = np.random.default_rng(seed)
+    gate_arity = min(gate_arity, num_qubits)
+    qubits = tuple(
+        int(q) for q in rng.choice(num_qubits, size=gate_arity, replace=False)
+    )
+    gate = random_unitary(2**gate_arity, rng)
+    states = rng.standard_normal((batch, 2**num_qubits)) + 1j * rng.standard_normal(
+        (batch, 2**num_qubits)
+    )
+    states /= np.linalg.norm(states, axis=1, keepdims=True)
+    out = apply_gate_to_states(states, gate, qubits, num_qubits)
+    for row in range(batch):
+        expected = apply_gate_to_state(states[row], gate, qubits, num_qubits)
+        assert np.allclose(out[row], expected, atol=1e-12)
+    # Reversing the qubit tuple must act like reversing it per-state too.
+    if gate_arity == 2:
+        reversed_out = apply_gate_to_states(
+            states, gate, qubits[::-1], num_qubits
+        )
+        for row in range(batch):
+            expected = apply_gate_to_state(
+                states[row], gate, qubits[::-1], num_qubits
+            )
+            assert np.allclose(reversed_out[row], expected, atol=1e-12)

@@ -123,6 +123,48 @@ def test_trajectories_match_density(rng):
     assert tvd(exact, sampled) < 0.03
 
 
+def test_batched_and_scalar_engines_agree_exactly(rng):
+    # Both engines consume the same pre-sampled error outcomes, so for a
+    # fixed seed they must agree to floating-point associativity — not
+    # just statistically.
+    circuit = random_circuit(3, 5, rng=rng)
+    model = NoiseModel(one_qubit_error=0.02, two_qubit_error=0.08,
+                       readout_error=0.03, idle_decoherence=0.01)
+    batched = run_trajectories(circuit, model, trajectories=150, rng=99,
+                               batched=True)
+    scalar = run_trajectories(circuit, model, trajectories=150, rng=99,
+                              batched=False)
+    assert np.allclose(batched, scalar, atol=1e-12)
+
+
+def test_batched_trajectories_match_density(rng):
+    circuit = random_circuit(3, 4, rng=rng)
+    model = NoiseModel(one_qubit_error=0.01, two_qubit_error=0.05,
+                       readout_error=0.02)
+    exact = run_density(circuit, model)
+    sampled = run_trajectories(circuit, model, trajectories=3000, rng=rng,
+                               batched=True)
+    assert tvd(exact, sampled) < 0.03
+
+
+def test_batched_trajectories_wide_gate(rng):
+    # ccx is charged one two-qubit channel per consecutive pair in both
+    # the density and trajectory engines.
+    circuit = Circuit(3)
+    circuit.h(0)
+    circuit.ccx(0, 1, 2)
+    model = NoiseModel(two_qubit_error=0.08, readout_error=0.0)
+    exact = run_density(circuit, model)
+    sampled = run_trajectories(circuit, model, trajectories=4000, rng=5,
+                               batched=True)
+    assert tvd(exact, sampled) < 0.03
+    scalar = run_trajectories(circuit, model, trajectories=200, rng=5,
+                              batched=False)
+    batched = run_trajectories(circuit, model, trajectories=200, rng=5,
+                               batched=True)
+    assert np.allclose(scalar, batched, atol=1e-12)
+
+
 def test_trajectories_noiseless_exact(rng):
     circuit = random_circuit(3, 4, rng=rng)
     out = run_trajectories(circuit, NoiseModel.noiseless(), trajectories=3, rng=rng)

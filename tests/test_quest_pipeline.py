@@ -89,6 +89,26 @@ def test_timings_populated(tfim_result):
     assert timings.total_seconds >= timings.synthesis_seconds
 
 
+def test_noisy_ensemble_records_timing(tfim_result):
+    from repro.noise import NoiseModel
+
+    assert tfim_result.timings.noisy_eval_seconds == 0.0
+    noisy = tfim_result.noisy_ensemble(NoiseModel.from_noise_level(0.01))
+    assert noisy.shape == (2**tfim_result.baseline.num_qubits,)
+    assert noisy.sum() == pytest.approx(1.0)
+    first = tfim_result.timings.noisy_eval_seconds
+    assert first > 0.0
+    # A second evaluation accumulates rather than overwrites.
+    tfim_result.noisy_ensemble(NoiseModel.from_noise_level(0.001))
+    assert tfim_result.timings.noisy_eval_seconds > first
+    # Noisy-eval time is post-pipeline work, not part of the Fig. 12 total.
+    assert tfim_result.timings.total_seconds == pytest.approx(
+        tfim_result.timings.partition_seconds
+        + tfim_result.timings.synthesis_seconds
+        + tfim_result.timings.annealing_seconds
+    )
+
+
 def test_pools_always_contain_original(tfim_result):
     for pool in tfim_result.pools:
         assert pool.candidates[0].distance == 0.0
