@@ -5,6 +5,11 @@ set) returns the feasible approximation with the lowest CNOT count; each
 subsequent run scores dissimilarity against everything selected so far.
 The loop stops at ``max_samples`` (M = 16 in the paper) or as soon as the
 engine returns an already-selected circuit.
+
+Small search spaces skip the annealer entirely: they are enumerated
+exactly, in chunks, through the objective's batched scorer — which is why
+the exhaustive cutoff can sit at 65536 points instead of the few hundred
+a per-point Python loop could afford.
 """
 
 from __future__ import annotations
@@ -17,6 +22,13 @@ from scipy.optimize import dual_annealing
 from repro.core.objective import SelectionObjective
 from repro.exceptions import SelectionError
 
+#: Search spaces up to this many points are enumerated exactly.
+DEFAULT_EXHAUSTIVE_CUTOFF = 65536
+
+#: Choice vectors scored per ``evaluate_batch`` call during enumeration
+#: (bounds peak memory at chunk x num_blocks indices).
+_ENUMERATION_CHUNK = 8192
+
 
 @dataclass
 class SelectionResult:
@@ -27,11 +39,20 @@ class SelectionResult:
     bounds: list[float] = field(default_factory=list)
     objective_values: list[float] = field(default_factory=list)
     annealer_runs: int = 0
+    #: Objective evaluations performed during this selection, split by
+    #: entry point (one-at-a-time annealer calls vs. batched points).
+    scalar_evaluations: int = 0
+    batched_evaluations: int = 0
 
     @property
     def num_selected(self) -> int:
         """Number of selected full-circuit approximations."""
         return len(self.choices)
+
+    @property
+    def objective_evaluations(self) -> int:
+        """Total points scored (scalar + batched)."""
+        return self.scalar_evaluations + self.batched_evaluations
 
 
 def _search_space_size(objective: SelectionObjective) -> int:
@@ -43,27 +64,42 @@ def _search_space_size(objective: SelectionObjective) -> int:
     return size
 
 
-def _exhaustive_minimum(objective: SelectionObjective) -> np.ndarray:
-    """Brute-force the best choice (used for tiny search spaces)."""
-    sizes = [pool.size for pool in objective.pools]
-    best_value = float("inf")
+def _enumerate_chunk(
+    start: int, stop: int, sizes: np.ndarray, strides: np.ndarray
+) -> np.ndarray:
+    """Rows ``start..stop`` of the cartesian product over pool sizes.
+
+    Row ``k`` decodes the mixed-radix integer ``k`` with block 0 as the
+    least-significant digit — the same ordering as the historical
+    odometer loop, so first-minimum tie-breaking is unchanged.
+    """
+    ks = np.arange(start, stop, dtype=np.int64)
+    return (ks[:, None] // strides[None, :]) % sizes[None, :]
+
+
+def _exhaustive_minimum(
+    objective: SelectionObjective, chunk: int = _ENUMERATION_CHUNK
+) -> np.ndarray:
+    """Brute-force the best choice (used for small search spaces).
+
+    Enumerates the whole cartesian product in chunks through
+    ``evaluate_batch``; ties resolve to the first minimum in enumeration
+    order, exactly like the scalar odometer this replaces.
+    """
+    sizes = np.array([pool.size for pool in objective.pools], dtype=np.int64)
+    strides = np.concatenate(([1], np.cumprod(sizes[:-1])))
+    total = int(np.prod(sizes))
+    best_value = np.inf
     best_choice: np.ndarray | None = None
-    indices = np.zeros(len(sizes), dtype=int)
-    while True:
-        value = objective(indices.astype(float))
-        if value < best_value:
-            best_value = value
-            best_choice = indices.copy()
-        # Odometer increment.
-        position = 0
-        while position < len(sizes):
-            indices[position] += 1
-            if indices[position] < sizes[position]:
-                break
-            indices[position] = 0
-            position += 1
-        if position == len(sizes):
-            break
+    for start in range(0, total, chunk):
+        choices = _enumerate_chunk(
+            start, min(start + chunk, total), sizes, strides
+        )
+        values = objective.evaluate_batch(choices)
+        position = int(np.argmin(values))
+        if values[position] < best_value:
+            best_value = float(values[position])
+            best_choice = choices[position].astype(int)
     assert best_choice is not None
     return best_choice
 
@@ -73,19 +109,22 @@ def select_approximations(
     max_samples: int = 16,
     maxiter: int = 250,
     seed: int | None = None,
-    exhaustive_cutoff: int = 512,
+    exhaustive_cutoff: int = DEFAULT_EXHAUSTIVE_CUTOFF,
 ) -> SelectionResult:
     """Run the sequential dual-annealing selection loop.
 
     Search spaces no larger than ``exhaustive_cutoff`` are enumerated
     exactly instead of annealed (the annealer is a global-optimization
-    heuristic; exact enumeration is both faster and deterministic there).
+    heuristic; batched exact enumeration is both faster and
+    deterministic there).
     """
     if max_samples < 1:
         raise SelectionError("max_samples must be positive")
     rng = np.random.default_rng(seed)
     result = SelectionResult()
     objective.selected.clear()
+    objective.scalar_evaluations = 0
+    objective.batched_evaluations = 0
     use_exhaustive = _search_space_size(objective) <= exhaustive_cutoff
     bounds = objective.bounds()
     for _ in range(max_samples):
@@ -125,4 +164,6 @@ def select_approximations(
         result.bounds.append(objective.choice_bound(choice))
         result.objective_values.append(value)
         objective.selected.append(choice)
+    result.scalar_evaluations = objective.scalar_evaluations
+    result.batched_evaluations = objective.batched_evaluations
     return result

@@ -51,6 +51,15 @@ class BlockPool:
         """Vector of candidate HS distances to the original block."""
         return np.array([c.distance for c in self.candidates])
 
+    def unitary_stack(self) -> np.ndarray:
+        """``(size, dim, dim)`` stack of candidate unitaries.
+
+        The similarity tables consume whole pools as one contiguous
+        array so their pairwise-distance construction is a single
+        Gram-matrix contraction per block.
+        """
+        return np.stack([c.unitary for c in self.candidates])
+
 
 def build_pool(
     block: CircuitBlock,

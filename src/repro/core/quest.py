@@ -96,6 +96,17 @@ class QuestTimings:
     noisy_eval_seconds: float = 0.0
 
     @property
+    def selection_seconds(self) -> float:
+        """Wall time of the selection phase (Fig. 12's "annealing" bar).
+
+        Alias for ``annealing_seconds``: since the exhaustive batched
+        path can replace the annealer entirely, "selection" is the
+        accurate name for the phase; the original field is kept for
+        backward compatibility.
+        """
+        return self.annealing_seconds
+
+    @property
     def total_seconds(self) -> float:
         """Total pipeline time.
 
@@ -154,12 +165,21 @@ class QuestResult:
         mean_cnots = float(np.mean(self.cnot_counts))
         return 1.0 - mean_cnots / original
 
+    @property
+    def objective_evaluations(self) -> int:
+        """Choice vectors scored during selection (scalar + batched)."""
+        return self.selection.objective_evaluations
+
     def summary(self) -> str:
         """One-line human-readable result summary."""
         return (
             f"{len(self.circuits)} approximations, CNOTs "
             f"{self.original_cnot_count} -> {sorted(self.cnot_counts)} "
-            f"({100 * self.cnot_reduction:.0f}% mean reduction)"
+            f"({100 * self.cnot_reduction:.0f}% mean reduction); "
+            f"selection scored {self.objective_evaluations} choices "
+            f"({self.selection.scalar_evaluations} scalar + "
+            f"{self.selection.batched_evaluations} batched) "
+            f"in {self.timings.selection_seconds:.2f}s"
         )
 
     def noisy_ensemble(

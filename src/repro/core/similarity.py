@@ -37,17 +37,66 @@ def unitaries_similar(
     )
 
 
+#: Pairs whose |mutual - max(d_i, d_j)| falls below this are re-resolved
+#: with the historical scalar arithmetic (see ``_block_table``).
+_BOUNDARY_MARGIN = 1e-7
+
+
+def _block_table(candidates: np.ndarray, original: np.ndarray) -> np.ndarray:
+    """Boolean similarity table of one block's candidate stack.
+
+    The O(count^2) pairwise HS distances are one stacked Gram-matrix
+    computation: the original joins the ``(count, dim, dim)`` candidate
+    stack as the last row, a single ``einsum`` yields every pairwise
+    ``|Tr(Ci^dag Cj)|``, and the distance matrix follows elementwise.
+
+    The ``<=`` predicate is then decided by margins far above float
+    noise for every generic pair, but pairs that sit *on* the boundary
+    (a candidate equal to the original, near-duplicates) would resolve
+    on reduction-order/FMA noise, which differs between this einsum and
+    the historical per-pair ``hs_distance`` loop.  Those near-boundary
+    pairs are re-resolved with the exact historical scalar arithmetic
+    (same calls, same argument order), so the table is bitwise identical
+    to the pre-vectorization construction.
+    """
+    count, dim = candidates.shape[0], candidates.shape[1]
+    stack = np.concatenate([candidates, original[None, :, :]], axis=0)
+    overlaps = (
+        np.abs(np.einsum("aij,bij->ab", stack.conj(), stack)) / dim
+    )
+    distances = np.sqrt(np.maximum(0.0, 1.0 - overlaps * overlaps))
+    to_original = distances[:count, count]
+    mutual = distances[:count, :count]
+    larger = np.maximum(to_original[:, None], to_original[None, :])
+    table = mutual <= larger
+    near = np.abs(mutual - larger) <= _BOUNDARY_MARGIN
+    np.fill_diagonal(near, False)
+    for i, j in zip(*np.nonzero(np.triu(near, k=1))):
+        similar = are_similar(
+            hs_distance(candidates[i], candidates[j]),
+            hs_distance(candidates[i], original),
+            hs_distance(candidates[j], original),
+        )
+        table[i, j] = table[j, i] = similar
+    np.fill_diagonal(table, True)
+    return table
+
+
 class BlockSimilarityTables:
     """Precomputed per-block similarity lookups for the annealing objective.
 
     For every block, stores a boolean matrix ``similar[i, j]`` over its
-    candidate approximations, so the objective's inner loop is pure table
-    lookup (the annealer calls it thousands of times).
+    candidate approximations; the per-block tables are additionally
+    packed into one flat array with per-block offsets, so scoring a
+    choice vector against a whole stack of prior selections is a single
+    fancy-indexed gather (the annealer calls the objective thousands of
+    times, and the batched exhaustive path scores thousands of choices
+    per call).
     """
 
     def __init__(
         self,
-        candidate_unitaries: list[list[np.ndarray]],
+        candidate_unitaries: list[list[np.ndarray]] | list[np.ndarray],
         original_unitaries: list[np.ndarray],
     ) -> None:
         if len(candidate_unitaries) != len(original_unitaries):
@@ -55,34 +104,72 @@ class BlockSimilarityTables:
         self.num_blocks = len(original_unitaries)
         self._tables: list[np.ndarray] = []
         for candidates, original in zip(candidate_unitaries, original_unitaries):
-            count = len(candidates)
-            if count == 0:
+            if len(candidates) == 0:
                 raise SelectionError("block with no candidate approximations")
-            to_original = np.array(
-                [hs_distance(c, original) for c in candidates]
-            )
-            table = np.zeros((count, count), dtype=bool)
-            for i in range(count):
-                table[i, i] = True
-                for j in range(i + 1, count):
-                    mutual = hs_distance(candidates[i], candidates[j])
-                    similar = are_similar(mutual, to_original[i], to_original[j])
-                    table[i, j] = table[j, i] = similar
-            self._tables.append(table)
+            stack = np.asarray(candidates, dtype=complex)
+            self._tables.append(_block_table(stack, np.asarray(original)))
+        # Flat packed layout: block b's (count_b, count_b) table lives at
+        # _flat[_offsets[b] : _offsets[b] + count_b**2], row-major, so
+        # entry (i, j) is _flat[_offsets[b] + i * count_b + j].
+        self._counts = np.array(
+            [table.shape[0] for table in self._tables], dtype=np.intp
+        )
+        self._offsets = np.concatenate(
+            ([0], np.cumsum(self._counts * self._counts)[:-1])
+        ).astype(np.intp)
+        self._flat = np.concatenate(
+            [table.ravel() for table in self._tables]
+        )
 
     def candidates_similar(self, block: int, i: int, j: int) -> bool:
         """Whether candidates ``i`` and ``j`` of ``block`` are similar."""
         return bool(self._tables[block][i, j])
 
+    def _validate_choices(self, choices: np.ndarray) -> np.ndarray:
+        choices = np.asarray(choices, dtype=np.intp)
+        if choices.shape[-1] != self.num_blocks:
+            raise SelectionError("choice vector length != number of blocks")
+        if np.any(choices < 0) or np.any(choices >= self._counts):
+            raise SelectionError("choice index outside its block's pool")
+        return choices
+
     def similarity_fraction(
         self, choice_a: np.ndarray, choice_b: np.ndarray
     ) -> float:
         """Fraction of blocks whose chosen candidates are similar."""
-        if len(choice_a) != self.num_blocks or len(choice_b) != self.num_blocks:
-            raise SelectionError("choice vector length != number of blocks")
-        hits = sum(
-            1
-            for block in range(self.num_blocks)
-            if self._tables[block][int(choice_a[block]), int(choice_b[block])]
-        )
-        return hits / self.num_blocks
+        choice_a = self._validate_choices(choice_a)
+        choice_b = self._validate_choices(choice_b)
+        hits = self._flat[
+            self._offsets + choice_a * self._counts + choice_b
+        ]
+        return int(hits.sum()) / self.num_blocks
+
+    def similarity_fractions(
+        self, choice: np.ndarray, priors: np.ndarray
+    ) -> np.ndarray:
+        """Similarity fraction of ``choice`` against each stacked prior.
+
+        ``priors`` is an ``(S, num_blocks)`` matrix of selected choice
+        vectors; the result is the length-``S`` vector of fractions, via
+        a single gather (no Python loop over priors).
+        """
+        choice = self._validate_choices(choice)
+        priors = self._validate_choices(np.atleast_2d(priors))
+        cells = self._offsets + choice * self._counts  # (num_blocks,)
+        hits = self._flat[cells[None, :] + priors]  # (S, num_blocks)
+        return hits.sum(axis=1) / self.num_blocks
+
+    def similarity_fractions_batch(
+        self, choices: np.ndarray, priors: np.ndarray
+    ) -> np.ndarray:
+        """Fractions of every choice row against every prior row.
+
+        ``choices`` is ``(B, num_blocks)``, ``priors`` is
+        ``(S, num_blocks)``; returns the ``(B, S)`` fraction matrix in
+        one gather over the packed tables.
+        """
+        choices = self._validate_choices(np.atleast_2d(choices))
+        priors = self._validate_choices(np.atleast_2d(priors))
+        cells = self._offsets[None, :] + choices * self._counts  # (B, nb)
+        hits = self._flat[cells[:, None, :] + priors[None, :, :]]
+        return hits.sum(axis=2) / self.num_blocks

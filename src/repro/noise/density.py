@@ -31,18 +31,25 @@ def _conjugate_apply(
 
 def _apply_pauli_channel(
     rho: np.ndarray,
-    terms: list[tuple[float, str]],
+    terms: list[tuple[float, np.ndarray]],
     qubits: tuple[int, ...],
     num_qubits: int,
 ) -> np.ndarray:
+    """Apply a Pauli channel given ``(probability, matrix)`` terms."""
     if not terms:
         return rho
     total_error = sum(p for p, _ in terms)
     out = (1.0 - total_error) * rho
-    for probability, label in terms:
-        pauli = pauli_matrix(label)
+    for probability, pauli in terms:
         out = out + probability * _conjugate_apply(rho, pauli, qubits, num_qubits)
     return out
+
+
+def _materialized_terms(
+    terms: list[tuple[float, str]],
+) -> list[tuple[float, np.ndarray]]:
+    """Resolve ``(probability, label)`` terms to dense Pauli matrices."""
+    return [(probability, pauli_matrix(label)) for probability, label in terms]
 
 
 def run_density(
@@ -64,15 +71,29 @@ def run_density(
     rho = np.zeros((dim, dim), dtype=complex)
     rho[0, 0] = 1.0
     idle_terms = (
-        [(noise.idle_decoherence / 3.0, p) for p in ("X", "Y", "Z")]
+        _materialized_terms(
+            [(noise.idle_decoherence / 3.0, p) for p in ("X", "Y", "Z")]
+        )
         if noise.idle_decoherence > 0.0
         else []
     )
+    # Channel terms depend only on gate arity: build the per-arity
+    # (probability, matrix) lists once instead of re-resolving every
+    # Pauli label inside the per-operation loop.
+    terms_by_arity: dict[int, list[tuple[float, np.ndarray]]] = {}
+
+    def _channel_terms(arity: int) -> list[tuple[float, np.ndarray]]:
+        if arity not in terms_by_arity:
+            terms_by_arity[arity] = _materialized_terms(
+                noise.pauli_terms(arity)
+            )
+        return terms_by_arity[arity]
+
     for op in circuit.operations:
         if op.name in ("measure", "barrier"):
             continue
         rho = _conjugate_apply(rho, op.gate.matrix(), op.qubits, num_qubits)
-        terms = noise.pauli_terms(len(op.qubits))
+        terms = _channel_terms(len(op.qubits))
         if terms:
             if len(op.qubits) <= 2:
                 rho = _apply_pauli_channel(rho, terms, op.qubits, num_qubits)
@@ -84,7 +105,7 @@ def run_density(
                 ]
                 for pair in pairs:
                     rho = _apply_pauli_channel(
-                        rho, noise.pauli_terms(2), pair, num_qubits
+                        rho, _channel_terms(2), pair, num_qubits
                     )
         if idle_terms:
             # Decoherence on the qubits idling while this gate executes.

@@ -75,18 +75,24 @@ def sample_counts(
         raise SimulationError("shots must be positive")
     rng = np.random.default_rng(rng)
     outcomes = rng.choice(len(probs), size=shots, p=probs / probs.sum())
-    values, counts = np.unique(outcomes, return_counts=True)
-    return {int(v): int(c) for v, c in zip(values, counts)}
+    histogram = np.bincount(outcomes, minlength=len(probs))
+    observed = np.flatnonzero(histogram)
+    return {int(v): int(histogram[v]) for v in observed}
 
 
 def counts_to_distribution(counts: dict[int, int], dim: int) -> np.ndarray:
     """Convert a counts histogram into a dense probability vector."""
-    probs = np.zeros(dim)
-    total = sum(counts.values())
+    if not counts:
+        raise SimulationError("empty counts histogram")
+    indices = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+    values = np.fromiter(counts.values(), dtype=np.int64, count=len(counts))
+    total = int(values.sum())
     if total == 0:
         raise SimulationError("empty counts histogram")
-    for index, count in counts.items():
-        if index < 0 or index >= dim:
-            raise SimulationError(f"outcome {index} out of range for dim {dim}")
-        probs[index] = count / total
+    bad = (indices < 0) | (indices >= dim)
+    if bad.any():
+        outlier = int(indices[bad][0])
+        raise SimulationError(f"outcome {outlier} out of range for dim {dim}")
+    probs = np.zeros(dim)
+    probs[indices] = values / total
     return probs
