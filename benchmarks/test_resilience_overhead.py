@@ -1,0 +1,127 @@
+"""Smoke benchmark: what resilience costs — and what resume saves.
+
+Runs the same 5-qubit Trotterized TFIM circuit through QUEST four ways —
+baseline (no checkpointing, validation on), validation off,
+checkpointed cold, and a resume against the warm journal — and records
+the timings to ``BENCH_resilience.json`` at the repo root.  Asserts the
+layer's two core claims:
+
+* all four modes produce identical selections (checkpointing and
+  validation are observers, not participants), and
+* the resumed run skips synthesis entirely (every nontrivial block
+  restored from the journal) and spends less time in synthesis than the
+  cold run.
+
+Journaling overhead itself (pickle + fsync per block) is recorded but
+only sanity-checked, not asserted small: at bench scale blocks take
+fractions of a second, so fsync latency is a visible fraction in a way
+it never is on real multi-minute blocks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro import QuestConfig, run_quest
+from repro.algorithms import tfim
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+
+#: Mirrors BENCH_parallel's scale: heavy enough that synthesis dominates.
+SCALING_CONFIG = dict(
+    seed=2022,
+    max_samples=4,
+    max_block_qubits=2,
+    threshold_per_block=0.25,
+    max_layers_per_block=3,
+    solutions_per_layer=3,
+    instantiation_starts=2,
+    max_optimizer_iterations=120,
+    annealing_maxiter=80,
+    block_time_budget=20.0,
+    sphere_variants_per_count=2,
+    cache=False,  # isolate journal/validation effects from the cache
+)
+
+
+def _timed_run(circuit, checkpoint_dir=None, **overrides):
+    config = QuestConfig(**{**SCALING_CONFIG, **overrides})
+    start = time.perf_counter()
+    result = run_quest(circuit, config, checkpoint_dir=checkpoint_dir)
+    return result, time.perf_counter() - start
+
+
+def test_resilience_overhead_smoke(tmp_path):
+    circuit = tfim(5, steps=2)
+
+    baseline, baseline_wall = _timed_run(circuit)
+    unvalidated, unvalidated_wall = _timed_run(
+        circuit, validate_candidates=False
+    )
+    ckpt = str(tmp_path / "journal")
+    cold, cold_wall = _timed_run(circuit, checkpoint_dir=ckpt)
+    resumed, resumed_wall = _timed_run(circuit, checkpoint_dir=ckpt)
+
+    rows = [
+        ["baseline", f"{baseline_wall:.2f}",
+         f"{baseline.timings.synthesis_seconds:.2f}", 0],
+        ["validation off", f"{unvalidated_wall:.2f}",
+         f"{unvalidated.timings.synthesis_seconds:.2f}", 0],
+        ["checkpointed cold", f"{cold_wall:.2f}",
+         f"{cold.timings.synthesis_seconds:.2f}", cold.checkpoint_hits],
+        ["resumed", f"{resumed_wall:.2f}",
+         f"{resumed.timings.synthesis_seconds:.2f}", resumed.checkpoint_hits],
+    ]
+    print_table(
+        "Resilience overhead (TFIM-5, 2 Trotter steps)",
+        ["mode", "wall s", "synthesis s", "checkpoint hits"],
+        rows,
+    )
+
+    # Checkpointing and validation never change results.
+    signature = [
+        baseline.cnot_counts, baseline.selection.bounds,
+        [tuple(int(i) for i in c) for c in baseline.selection.choices],
+    ]
+    for other in (unvalidated, cold, resumed):
+        assert [
+            other.cnot_counts, other.selection.bounds,
+            [tuple(int(i) for i in c) for c in other.selection.choices],
+        ] == signature
+
+    # The resume restored every nontrivial block and skipped synthesis.
+    assert resumed.checkpoint_hits > 0
+    assert resumed.cache_misses == 0
+    assert resumed.checkpoint_corrupt_entries == 0
+    assert resumed.timings.synthesis_seconds < cold.timings.synthesis_seconds
+    # No failures anywhere in a clean run.
+    for result in (baseline, unvalidated, cold, resumed):
+        assert not result.failure_log
+        assert not result.synthesis_fallbacks
+
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "circuit": "tfim(5, steps=2)",
+                "blocks": len(baseline.blocks),
+                "baseline_seconds": baseline_wall,
+                "no_validation_seconds": unvalidated_wall,
+                "checkpointed_cold_seconds": cold_wall,
+                "resumed_seconds": resumed_wall,
+                "baseline_synthesis_seconds":
+                    baseline.timings.synthesis_seconds,
+                "checkpointed_synthesis_seconds":
+                    cold.timings.synthesis_seconds,
+                "resumed_synthesis_seconds":
+                    resumed.timings.synthesis_seconds,
+                "resumed_checkpoint_hits": resumed.checkpoint_hits,
+                "original_cnot_count": baseline.original_cnot_count,
+                "selected_cnot_counts": baseline.cnot_counts,
+            },
+            indent=1,
+        )
+    )

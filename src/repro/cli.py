@@ -19,6 +19,7 @@ from pathlib import Path
 from repro.circuits import circuit_from_qasm, circuit_to_qasm
 from repro.core import QuestConfig, run_quest
 from repro.exceptions import ReproError
+from repro.resilience.faults import parse_fault_spec
 
 
 def _positive_int(value: str) -> int:
@@ -77,6 +78,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the persistent block-synthesis cache "
         "(default: in-memory only)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="directory for the crash-recovery run journal; completed "
+        "block pools persist there atomically",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from an existing journal in --checkpoint-dir, "
+        "skipping already-completed blocks (refused if the journal's "
+        "config fingerprint does not match this run)",
+    )
+    parser.add_argument(
+        "--retry-attempts",
+        type=_positive_int,
+        default=2,
+        help="synthesis attempts per block before the exact-pool "
+        "fallback; the first retry reuses the block seed, later ones "
+        "escalate deterministically (default 2)",
+    )
+    parser.add_argument(
+        "--retry-budget-multiplier",
+        type=float,
+        default=1.0,
+        help="grow the per-block time budget by this factor on each "
+        "retry attempt (default 1.0 = flat)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help="debug: deterministic fault schedule, e.g. "
+        "'raise@0,hang@2:1,nan@*,flip-cache@0,torn-checkpoint@1,kill@3' "
+        "(kind@block[:attempt], * = every block)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed pinning the random details of injected faults",
+    )
     return parser
 
 
@@ -93,6 +137,18 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             print(f"error: cache dir {args.cache_dir}: {exc}", file=sys.stderr)
             return 2
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    fault_injector = None
+    if args.inject_faults is not None:
+        try:
+            fault_injector = parse_fault_spec(
+                args.inject_faults, seed=args.fault_seed
+            )
+        except ValueError as exc:
+            print(f"error: --inject-faults: {exc}", file=sys.stderr)
+            return 2
     config = QuestConfig(
         seed=args.seed,
         max_samples=args.max_samples,
@@ -102,9 +158,19 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache=not args.no_cache,
         cache_dir=None if args.cache_dir is None else str(args.cache_dir),
+        checkpoint_dir=(
+            None if args.checkpoint_dir is None else str(args.checkpoint_dir)
+        ),
+        retry_attempts=args.retry_attempts,
+        retry_budget_multiplier=args.retry_budget_multiplier,
     )
     try:
-        result = run_quest(circuit, config)
+        result = run_quest(
+            circuit,
+            config,
+            resume=args.resume,
+            fault_injector=fault_injector,
+        )
     except ReproError as exc:
         print(f"QUEST failed: {exc}", file=sys.stderr)
         return 1
@@ -116,6 +182,23 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(result.synthesis_fallbacks)} fallback(s) "
         f"in {result.timings.synthesis_seconds:.1f}s"
     )
+    if result.checkpoint_hits or result.checkpoint_corrupt_entries:
+        print(
+            f"  checkpoint: {result.checkpoint_hits} block(s) resumed, "
+            f"{result.checkpoint_corrupt_entries} corrupt entr(ies) "
+            "quarantined"
+        )
+    if result.cache_corrupt_entries:
+        print(
+            f"  cache: {result.cache_corrupt_entries} corrupt disk "
+            "entr(ies) quarantined and recomputed"
+        )
+    for record in result.failure_log:
+        print(
+            f"  fault: block {record.block_index} attempt {record.attempt} "
+            f"[{record.kind}] {record.message}",
+            file=sys.stderr,
+        )
     for index, (approx, bound) in enumerate(
         zip(result.circuits, result.selection.bounds)
     ):

@@ -35,6 +35,8 @@ from repro.parallel.executor import (
 )
 from repro.partition.blocks import CircuitBlock, stitch_blocks
 from repro.partition.scan import scan_partition
+from repro.resilience.journal import RunJournal, quest_fingerprint
+from repro.resilience.retry import FailureRecord, RetryPolicy
 from repro.transpile.basis import lower_to_basis
 
 #: Hard per-block timeout is this multiple of the cooperative LEAP budget
@@ -75,6 +77,21 @@ class QuestConfig:
     #: Directory for the persistent cross-run cache tier (None = memory only;
     #: ignored when ``cache`` is False).
     cache_dir: str | None = None
+    #: Directory for the crash-recovery run journal (None = no journal).
+    #: Completed block pools persist there atomically; a rerun with the
+    #: same circuit/config resumes from them (see repro.resilience).
+    checkpoint_dir: str | None = None
+    #: Synthesis attempts per block before the exact-pool downgrade
+    #: (1 = no retries).  The first retry reuses the block's seed, so
+    #: recovery from transient faults is bit-identical; later attempts
+    #: escalate seeds deterministically via SeedSequence.spawn.
+    retry_attempts: int = 2
+    #: Per-attempt growth factor of the block time budget (and hard
+    #: timeout) under retries; 1.0 keeps the budget flat.
+    retry_budget_multiplier: float = 1.0
+    #: Health-check candidates from workers/cache/checkpoints (finite,
+    #: unitary, distances recompute) and quarantine failures.
+    validate_candidates: bool = True
 
 
 @dataclass
@@ -140,6 +157,17 @@ class QuestResult:
     #: Indices of blocks that fell back to their exact singleton pool
     #: because synthesis failed or exceeded the hard time budget.
     synthesis_fallbacks: list[int] = field(default_factory=list)
+    #: Structured log of every failed synthesis attempt (block index,
+    #: attempt, failure kind, exception text); empty on a clean run.
+    failure_log: list[FailureRecord] = field(default_factory=list)
+    #: Synthesis attempts beyond each block's first (retry count).
+    retries: int = 0
+    #: Blocks restored from the run journal instead of synthesized.
+    checkpoint_hits: int = 0
+    #: Disk cache entries that existed but failed integrity checks.
+    cache_corrupt_entries: int = 0
+    #: Journal entries that existed but failed integrity/health checks.
+    checkpoint_corrupt_entries: int = 0
 
     @property
     def original_cnot_count(self) -> int:
@@ -154,11 +182,19 @@ class QuestResult:
     @property
     def best_cnot_count(self) -> int:
         """CNOTs of the cheapest selected approximation."""
+        if not self.circuits:
+            raise SelectionError(
+                "selection produced no circuits; best_cnot_count is undefined"
+            )
         return min(self.cnot_counts)
 
     @property
     def cnot_reduction(self) -> float:
         """Mean fractional CNOT reduction across the ensemble."""
+        if not self.circuits:
+            raise SelectionError(
+                "selection produced no circuits; cnot_reduction is undefined"
+            )
         original = self.original_cnot_count
         if original == 0:
             return 0.0
@@ -172,7 +208,7 @@ class QuestResult:
 
     def summary(self) -> str:
         """One-line human-readable result summary."""
-        return (
+        text = (
             f"{len(self.circuits)} approximations, CNOTs "
             f"{self.original_cnot_count} -> {sorted(self.cnot_counts)} "
             f"({100 * self.cnot_reduction:.0f}% mean reduction); "
@@ -181,6 +217,14 @@ class QuestResult:
             f"{self.selection.batched_evaluations} batched) "
             f"in {self.timings.selection_seconds:.2f}s"
         )
+        if self.retries or self.failure_log:
+            text += (
+                f"; {self.retries} retried attempt(s), "
+                f"{len(self.failure_log)} logged failure(s)"
+            )
+        if self.checkpoint_hits:
+            text += f"; {self.checkpoint_hits} block(s) resumed from checkpoint"
+        return text
 
     def noisy_ensemble(
         self,
@@ -239,12 +283,28 @@ def _draw_block_seeds(
     return [int(rng.integers(2**31 - 1)) for _ in range(num_blocks)]
 
 
-def run_quest(circuit: Circuit, config: QuestConfig | None = None) -> QuestResult:
+def run_quest(
+    circuit: Circuit,
+    config: QuestConfig | None = None,
+    *,
+    checkpoint_dir: str | None = None,
+    resume: bool = True,
+    fault_injector=None,
+) -> QuestResult:
     """Run the full QUEST pipeline on ``circuit``.
 
     The input may contain measurements; they are stripped for synthesis
     (approximations are measurement-free, like the paper's artifacts —
     measurement is appended by whoever runs them).
+
+    ``checkpoint_dir`` (overriding ``config.checkpoint_dir``) journals
+    each completed block pool atomically; rerunning against the same
+    directory skips journaled blocks and is bit-identical to an
+    uninterrupted run.  A directory holding a journal for a *different*
+    circuit or config refuses to resume (:class:`CheckpointError`), as
+    does an existing journal when ``resume=False``.  ``fault_injector``
+    deterministically injects faults for testing
+    (see :mod:`repro.resilience.faults`).
     """
     config = config or QuestConfig()
     rng = np.random.default_rng(config.seed)
@@ -260,15 +320,36 @@ def run_quest(circuit: Circuit, config: QuestConfig | None = None) -> QuestResul
 
     start = time.perf_counter()
     block_seeds = _draw_block_seeds(rng, len(result.blocks))
+    checkpoint_dir = checkpoint_dir or config.checkpoint_dir
+    journal = None
+    if checkpoint_dir is not None:
+        journal = RunJournal(
+            checkpoint_dir,
+            fingerprint=quest_fingerprint(baseline, config),
+            seeds=block_seeds,
+            resume=resume,
+            fault_injector=fault_injector,
+        )
     executor = BlockSynthesisExecutor(
         workers=config.workers,
-        cache=PoolCache(config.cache_dir) if config.cache else None,
+        cache=(
+            PoolCache(config.cache_dir, fault_injector=fault_injector)
+            if config.cache
+            else None
+        ),
         hard_timeout=(
             None
             if config.block_time_budget is None
             else _HARD_TIMEOUT_FACTOR * config.block_time_budget
             + _HARD_TIMEOUT_GRACE
         ),
+        retry_policy=RetryPolicy(
+            max_attempts=config.retry_attempts,
+            budget_multiplier=config.retry_budget_multiplier,
+        ),
+        journal=journal,
+        fault_injector=fault_injector,
+        validate=config.validate_candidates,
     )
     result.pools, synthesis_stats = executor.run(
         result.blocks, config, block_seeds
@@ -276,6 +357,13 @@ def run_quest(circuit: Circuit, config: QuestConfig | None = None) -> QuestResul
     result.cache_hits = synthesis_stats.cache_hits
     result.cache_misses = synthesis_stats.cache_misses
     result.synthesis_fallbacks = synthesis_stats.fallback_blocks
+    result.failure_log = synthesis_stats.failure_log
+    result.retries = synthesis_stats.retries
+    result.checkpoint_hits = synthesis_stats.checkpoint_hits
+    result.cache_corrupt_entries = synthesis_stats.cache_corrupt_entries
+    result.checkpoint_corrupt_entries = (
+        synthesis_stats.checkpoint_corrupt_entries
+    )
     result.timings.block_synthesis_seconds = synthesis_stats.block_seconds
     result.timings.synthesis_seconds = time.perf_counter() - start
 

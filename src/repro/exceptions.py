@@ -46,3 +46,33 @@ class SynthesisError(ReproError):
 
 class SelectionError(ReproError):
     """Raised by the QUEST approximation-selection engine."""
+
+
+class ValidationError(ReproError):
+    """Raised when a synthesis result fails its health check.
+
+    Candidates coming back from a worker, the pool cache, or a run
+    checkpoint are validated (finite entries, unitarity, recomputed
+    distance) before they may enter a block pool; failures quarantine
+    the candidate set instead of letting corrupt data poison a run.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised when a run journal cannot be created or resumed.
+
+    Most importantly: resuming against a checkpoint directory whose
+    recorded config fingerprint or seed stream does not match the
+    current run is refused with this error rather than silently mixing
+    incompatible results.
+    """
+
+
+class BlockTimeoutError(ReproError):
+    """Raised by the cooperative deadline when a block's budget expires.
+
+    Worker processes are bounded by the executor's hard future timeout;
+    the inline (``workers == 1``) path instead relies on
+    :func:`repro.resilience.deadline.check_deadline` calls sprinkled
+    through the synthesis loop raising this error.
+    """

@@ -93,7 +93,11 @@ class PoolCache:
     run, so the counters it reports are per-run.
     """
 
-    def __init__(self, cache_dir: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        fault_injector=None,
+    ) -> None:
         self._memory: dict[str, list[SynthesisSolution]] = {}
         self._dir: Path | None = None
         if cache_dir is not None:
@@ -101,6 +105,14 @@ class PoolCache:
             self._dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Disk entries that existed but failed an integrity check
+        #: (checksum, key, payload type, or unpicklable bytes).  Stale
+        #: format versions and missing files are plain misses, not
+        #: corruption.
+        self.corrupt_entries = 0
+        #: Optional :class:`repro.resilience.faults.FaultInjector` whose
+        #: ``flip-cache`` faults corrupt entries after publish (tests/CI).
+        self.fault_injector = fault_injector
 
     @property
     def cache_dir(self) -> Path | None:
@@ -155,30 +167,48 @@ class PoolCache:
             # Disk tier is best-effort; the in-memory entry still serves
             # this run.
             tmp.unlink(missing_ok=True)
+            return
+        if self.fault_injector is not None:
+            self.fault_injector.on_cache_write(path)
 
     def _load_disk(self, key: str) -> list[SynthesisSolution] | None:
         path = self._path(key)
         try:
             raw = path.read_bytes()
         except OSError:
-            return None
+            return None  # Missing (or unreadable) file: a plain miss.
         try:
             envelope = pickle.loads(raw)
             if not isinstance(envelope, dict):
-                return None
+                raise ValueError("envelope is not a dict")
             if envelope.get("version") != CACHE_VERSION:
+                # Stale format from an older build: a miss, not corruption.
                 return None
             if envelope.get("key") != key:
-                return None
+                raise ValueError("entry key mismatch")
             payload = envelope["payload"]
             if hashlib.sha256(payload).hexdigest() != envelope["checksum"]:
-                return None
+                raise ValueError("payload checksum mismatch")
             solutions = pickle.loads(payload)
-        except Exception:
-            # Truncated, garbled, or otherwise unreadable: recompute.
-            return None
-        if not isinstance(solutions, list) or not all(
-            isinstance(s, SynthesisSolution) for s in solutions
+            if not isinstance(solutions, list) or not all(
+                isinstance(s, SynthesisSolution) for s in solutions
+            ):
+                raise ValueError("payload is not a SynthesisSolution list")
+        except (
+            # Everything a truncated, garbled, or bit-flipped pickle can
+            # raise while loading — deliberately *not* a bare Exception,
+            # so programming errors (and MemoryError etc.) still surface.
+            pickle.UnpicklingError,
+            EOFError,
+            ValueError,
+            TypeError,
+            KeyError,
+            AttributeError,
+            ImportError,
+            IndexError,
         ):
+            # Corrupt entry: count it and recompute.  The next put()
+            # overwrites the bad file.
+            self.corrupt_entries += 1
             return None
         return solutions

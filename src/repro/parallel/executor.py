@@ -2,7 +2,7 @@
 
 :class:`BlockSynthesisExecutor` takes the partition's blocks plus one
 pre-drawn seed per block and returns one :class:`BlockPool` per block.
-Three properties make it a drop-in replacement for the old sequential
+Four properties make it a drop-in replacement for the old sequential
 loop in :func:`repro.core.quest.run_quest`:
 
 **Determinism.**  Seeds are drawn by the caller *before* dispatch, in
@@ -19,11 +19,29 @@ skip straight to pool assembly.  Only the LEAP solution list is cached —
 pool assembly (original-block candidate, distance re-measurement, sphere
 variants) is cheap and block-specific, so it always runs in the parent.
 
-**Graceful degradation.**  A worker that raises, dies, or exceeds the
-hard per-block timeout downgrades its block(s) to the exact-block
-singleton pool — the distance-zero fallback QUEST always keeps — with a
-:class:`RuntimeWarning`, so one bad block costs approximation quality,
-never the run.
+**Resilience.**  With a :class:`~repro.resilience.retry.RetryPolicy`, a
+block whose synthesis raises, hangs past the hard timeout, or returns
+candidates that fail validation is *retried* — first with the same seed
+(so transient faults recover bit-identically), then with
+deterministically escalated seeds and optionally larger budgets — before
+any downgrade.  Candidate sets from workers, the cache, or a checkpoint
+are health-checked via :mod:`repro.resilience.validation` and
+quarantined on failure; every failure lands in a structured
+:class:`~repro.resilience.retry.FailureRecord` log.  With a
+:class:`~repro.resilience.journal.RunJournal`, completed pools are
+journaled atomically as they finish, and journaled blocks are skipped on
+resume.
+
+**Graceful degradation.**  Only when every attempt is exhausted does a
+block downgrade to the exact-block singleton pool — the distance-zero
+fallback QUEST always keeps — with a :class:`RuntimeWarning`, so one bad
+block costs approximation quality, never the run.
+
+Timeouts come in two flavors: worker processes are bounded by the
+future's hard result timeout, while the inline (``workers == 1``) path
+arms a *cooperative* deadline (:mod:`repro.resilience.deadline`) that
+the synthesis loops check between optimizer runs — the only way to bound
+work that runs in the parent process itself.
 """
 
 from __future__ import annotations
@@ -40,8 +58,20 @@ from repro.core.pool import (
     build_pool,
     exact_pool,
 )
+from repro.exceptions import BlockTimeoutError, ValidationError
 from repro.parallel.cache import PoolCache, content_key, entry_key
 from repro.partition.blocks import CircuitBlock
+from repro.resilience.deadline import block_deadline
+from repro.resilience.retry import (
+    FAILURE_CHECKPOINT,
+    FAILURE_EXCEPTION,
+    FAILURE_TIMEOUT,
+    FAILURE_VALIDATION,
+    FailureRecord,
+    RetryLog,
+    RetryPolicy,
+)
+from repro.resilience.validation import validate_pool, validate_solutions
 from repro.synthesis.leap import LeapConfig, SynthesisSolution, synthesize
 
 
@@ -66,6 +96,26 @@ def leap_config_for_block(
     )
 
 
+class _ScaledBudgetConfig:
+    """Duck-typed config view with a replaced ``block_time_budget``.
+
+    Retry attempts may grow the per-block budget; everything else
+    delegates to the wrapped config.  Note the budget is part of the
+    LEAP fingerprint, so escalated-budget results are never written to
+    the content-addressed cache under the base key.
+    """
+
+    def __init__(self, base, block_time_budget) -> None:
+        self._base = base
+        self.block_time_budget = block_time_budget
+
+    def __getattr__(self, name):
+        base = self.__dict__.get("_base")
+        if base is None:
+            raise AttributeError(name)
+        return getattr(base, name)
+
+
 def _synthesize_solutions_task(
     block: CircuitBlock, config, seed: int
 ) -> tuple[list[SynthesisSolution], float]:
@@ -80,6 +130,13 @@ def _synthesize_solutions_task(
     )
     report = synthesize(block.unitary(), leap_config)
     return report.solutions, time.perf_counter() - start
+
+
+def _faulted_task(task, injector, index, attempt, block, config, seed):
+    """Worker-side wrapper firing scheduled faults around ``task``."""
+    injector.on_synthesis_start(index, attempt)
+    solutions, elapsed = task(block, config, seed)
+    return injector.corrupt_solutions(index, attempt, solutions), elapsed
 
 
 def assemble_pool(
@@ -126,7 +183,9 @@ class BlockSynthesisStats:
 
     ``cache_hits`` counts blocks served without a synthesis job (within-
     run repeats and disk hits); ``cache_misses`` counts jobs actually
-    dispatched.  Trivial (1-qubit / CNOT-free) blocks count as neither.
+    dispatched.  Trivial (1-qubit / CNOT-free) blocks count as neither,
+    and neither do blocks restored from a run journal
+    (``checkpoint_hits``).
     """
 
     cache_hits: int = 0
@@ -134,8 +193,18 @@ class BlockSynthesisStats:
     #: Indices of blocks downgraded to their exact-block fallback pool.
     fallback_blocks: list[int] = field(default_factory=list)
     #: Per-block synthesis seconds, measured inside the worker; 0.0 for
-    #: trivial blocks and cache/repeat hits.
+    #: trivial blocks and cache/repeat/checkpoint hits.
     block_seconds: list[float] = field(default_factory=list)
+    #: Blocks whose pool was restored from the run journal.
+    checkpoint_hits: int = 0
+    #: Synthesis attempts beyond each block's first, across the run.
+    retries: int = 0
+    #: Disk cache entries that existed but failed integrity checks.
+    cache_corrupt_entries: int = 0
+    #: Journal entries that existed but failed integrity/health checks.
+    checkpoint_corrupt_entries: int = 0
+    #: Structured log of every failed attempt (see FailureRecord).
+    failure_log: list[FailureRecord] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -159,14 +228,28 @@ class BlockSynthesisExecutor:
         Optional :class:`PoolCache`.  When given, blocks sharing an entry
         key synthesize once per run and may persist across runs.
     hard_timeout:
-        Hard per-block wall-clock cap in seconds, enforced via the
-        future's result timeout (so only when ``workers > 1``; inline
-        execution relies on LEAP's own cooperative ``time_budget``).  A
-        block that exceeds it falls back to its exact pool.
+        Hard per-block wall-clock cap in seconds.  Enforced via the
+        future's result timeout when ``workers > 1`` and via the
+        cooperative deadline (:mod:`repro.resilience.deadline`) on the
+        inline path.  A block that exceeds it is retried (under the
+        retry policy) and ultimately falls back to its exact pool.
     synthesize_fn:
         Override of the worker task, for testing/instrumentation.  Must
         be a module-level callable with the signature of
         :func:`_synthesize_solutions_task`.
+    retry_policy:
+        Optional :class:`RetryPolicy`.  ``None`` (the default) means one
+        attempt per block — the executor's historical behaviour.
+    journal:
+        Optional :class:`~repro.resilience.journal.RunJournal`.  Blocks
+        already journaled (and healthy) are restored without synthesis;
+        freshly completed pools are journaled as they finish.
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` whose
+        scheduled faults fire around each synthesis attempt (tests/CI).
+    validate:
+        Health-check candidate sets from workers, the cache, and the
+        journal (on by default; see :mod:`repro.resilience.validation`).
     """
 
     def __init__(
@@ -175,6 +258,10 @@ class BlockSynthesisExecutor:
         cache: PoolCache | None = None,
         hard_timeout: float | None = None,
         synthesize_fn=None,
+        retry_policy: RetryPolicy | None = None,
+        journal=None,
+        fault_injector=None,
+        validate: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -182,6 +269,10 @@ class BlockSynthesisExecutor:
         self.cache = cache
         self.hard_timeout = hard_timeout
         self._synthesize_fn = synthesize_fn
+        self.retry_policy = retry_policy
+        self.journal = journal
+        self.fault_injector = fault_injector
+        self.validate = validate
 
     def run(
         self,
@@ -199,14 +290,23 @@ class BlockSynthesisExecutor:
             if self._synthesize_fn is not None
             else _synthesize_solutions_task
         )
+        policy = self.retry_policy or RetryPolicy(max_attempts=1)
         stats = BlockSynthesisStats(block_seconds=[0.0] * len(blocks))
+        log = RetryLog()
+        base_budget = getattr(config, "block_time_budget", None)
+        cache_corrupt_before = (
+            self.cache.corrupt_entries if self.cache is not None else 0
+        )
 
-        # Phase 1: plan. Canonicalize seeds per content key and decide,
-        # per entry key, whether a synthesis job is needed.
+        # Phase 1: plan. Canonicalize seeds per content key; restore
+        # journaled blocks; decide, per entry key, whether a synthesis
+        # job is needed.
         plans: list[_BlockPlan] = []
         canonical_seed: dict[str, int] = {}
         resolved: dict[str, list[SynthesisSolution]] = {}
+        resolved_attempt: dict[str, int] = {}
         jobs: dict[str, tuple[int, CircuitBlock, int]] = {}
+        pools_by_index: dict[int, BlockPool] = {}
         for index, (block, seed) in enumerate(zip(blocks, seeds)):
             if block.num_qubits == 1 or block.circuit.cnot_count() == 0:
                 plans.append(_BlockPlan(trivial=True))
@@ -218,13 +318,38 @@ class BlockSynthesisExecutor:
             seed = canonical_seed.setdefault(content, seed)
             key = entry_key(content, seed)
             plans.append(_BlockPlan(trivial=False, key=key, seed=seed))
+            if self.journal is not None:
+                pool = self.journal.load_pool(index, key)
+                if pool is not None and self.validate:
+                    try:
+                        validate_pool(pool)
+                    except ValidationError as exc:
+                        log.record(index, 0, FAILURE_CHECKPOINT, str(exc))
+                        self.journal.discard(index)
+                        pool = None
+                if pool is not None:
+                    pools_by_index[index] = pool
+                    stats.checkpoint_hits += 1
+                    continue
             if self.cache is not None:
                 if key in resolved or key in jobs:
                     stats.cache_hits += 1  # within-run repeat
                     continue
                 cached = self.cache.get(key)
+                if cached is not None and self.validate:
+                    try:
+                        validate_solutions(block.unitary(), cached)
+                    except ValidationError as exc:
+                        log.record(
+                            index,
+                            0,
+                            FAILURE_VALIDATION,
+                            f"cache entry quarantined: {exc}",
+                        )
+                        cached = None
                 if cached is not None:
                     resolved[key] = cached
+                    resolved_attempt[key] = 0
                     stats.cache_hits += 1
                     continue
                 jobs[key] = (index, block, seed)
@@ -236,30 +361,69 @@ class BlockSynthesisExecutor:
                 jobs[key] = (index, block, seed)
             stats.cache_misses += 1
 
-        # Phase 2: execute the synthesis jobs.
+        def finalize(job_key: str) -> None:
+            """Assemble + journal every block the resolved job serves.
+
+            Called as each job completes (journal mode only), so a crash
+            mid-run loses at most the blocks still in flight.
+            """
+            for index, plan in enumerate(plans):
+                if plan.trivial or index in pools_by_index:
+                    continue
+                if job_key != plan.key and job_key != f"{plan.key}#{index}":
+                    continue
+                pool = assemble_pool(
+                    blocks[index], resolved[job_key], config, plan.seed
+                )
+                pools_by_index[index] = pool
+                self.journal.store_pool(index, plan.key, pool)
+
+        # Phase 2: execute the synthesis jobs, retrying under the policy.
         failures: dict[str, BaseException] = {}
-        if jobs:
+        pending = dict(jobs)
+        for attempt in range(policy.max_attempts):
+            if not pending:
+                break
+            if attempt > 0:
+                stats.retries += len(pending)
+
+            def on_success(key: str, attempt: int = attempt) -> None:
+                # Fires as each job lands (not at round end) so a crash
+                # mid-round has already journaled every finished block.
+                resolved_attempt[key] = attempt
+                if self.journal is not None:
+                    finalize(key)
+
             if self.workers == 1:
-                for key, (index, block, seed) in jobs.items():
-                    try:
-                        solutions, elapsed = task(block, config, seed)
-                    except Exception as exc:
-                        failures[key] = exc
-                        continue
-                    resolved[key] = solutions
-                    stats.block_seconds[index] = elapsed
+                succeeded = self._run_round_inline(
+                    task, config, pending, attempt, policy, base_budget,
+                    resolved, stats, log, failures, on_success,
+                )
             else:
-                self._run_pool(task, config, jobs, resolved, failures, stats)
-            if self.cache is not None:
-                for key in jobs:
-                    if key in resolved:
-                        self.cache.put(key, resolved[key])
+                succeeded = self._run_round_pool(
+                    task, config, pending, attempt, policy, base_budget,
+                    resolved, stats, log, failures, on_success,
+                )
+            for key in succeeded:
+                del pending[key]
+        if self.cache is not None:
+            for key, (_, _, seed) in jobs.items():
+                # Only baseline-attempt results (attempt 0's seed and
+                # budget) are interchangeable with an unfaulted run's,
+                # so only those persist under the content-addressed key.
+                if key in resolved and policy.is_baseline_attempt(
+                    seed, resolved_attempt.get(key, 0), base_budget
+                ):
+                    self.cache.put(key, resolved[key])
 
         # Phase 3: assemble pools (parent process, block order).
         pools: list[BlockPool] = []
         for index, (block, plan) in enumerate(zip(blocks, plans)):
             if plan.trivial:
                 pools.append(exact_pool(block))
+                continue
+            if index in pools_by_index:
+                pools.append(pools_by_index[index])
                 continue
             key = plan.key if plan.key in resolved else f"{plan.key}#{index}"
             solutions = resolved.get(key)
@@ -275,40 +439,146 @@ class BlockSynthesisExecutor:
                 stats.fallback_blocks.append(index)
                 pools.append(exact_pool(block))
                 continue
-            pools.append(assemble_pool(block, solutions, config, plan.seed))
+            pool = assemble_pool(block, solutions, config, plan.seed)
+            if self.journal is not None:
+                self.journal.store_pool(index, plan.key, pool)
+            pools.append(pool)
+
+        stats.failure_log = log.records
+        if self.cache is not None:
+            stats.cache_corrupt_entries = (
+                self.cache.corrupt_entries - cache_corrupt_before
+            )
+        if self.journal is not None:
+            stats.checkpoint_corrupt_entries = self.journal.corrupt_entries
         return pools, stats
 
-    def _run_pool(
+    # ------------------------------------------------------------------
+    # Attempt rounds
+    # ------------------------------------------------------------------
+    def _attempt_config(self, config, policy: RetryPolicy, base_budget, attempt):
+        budget = policy.attempt_budget(base_budget, attempt)
+        if budget == base_budget:
+            return config
+        return _ScaledBudgetConfig(config, budget)
+
+    def _run_round_inline(
         self,
         task,
         config,
-        jobs: dict[str, tuple[int, CircuitBlock, int]],
-        resolved: dict[str, list[SynthesisSolution]],
-        failures: dict[str, BaseException],
+        round_jobs: dict[str, tuple[int, CircuitBlock, int]],
+        attempt: int,
+        policy: RetryPolicy,
+        base_budget,
+        resolved,
         stats: BlockSynthesisStats,
-    ) -> None:
-        """Dispatch ``jobs`` over a process pool, honoring the timeout."""
-        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(jobs)))
-        try:
-            futures = {
-                key: pool.submit(task, block, config, seed)
-                for key, (_, block, seed) in jobs.items()
-            }
-            for key, future in futures.items():
-                index = jobs[key][0]
-                try:
-                    solutions, elapsed = future.result(
-                        timeout=self.hard_timeout
+        log: RetryLog,
+        failures: dict[str, BaseException],
+        on_success,
+    ) -> list[str]:
+        """Run one attempt round inline; returns the keys that succeeded."""
+        attempt_config = self._attempt_config(config, policy, base_budget, attempt)
+        timeout = policy.attempt_budget(self.hard_timeout, attempt)
+        succeeded: list[str] = []
+        for key, (index, block, seed) in round_jobs.items():
+            attempt_seed = policy.attempt_seed(seed, attempt)
+            try:
+                with block_deadline(timeout):
+                    if self.fault_injector is not None:
+                        self.fault_injector.on_synthesis_start(index, attempt)
+                    solutions, elapsed = task(block, attempt_config, attempt_seed)
+                if self.fault_injector is not None:
+                    solutions = self.fault_injector.corrupt_solutions(
+                        index, attempt, solutions
                     )
+                if self.validate:
+                    validate_solutions(block.unitary(), solutions)
+            except BlockTimeoutError as exc:
+                log.record(index, attempt, FAILURE_TIMEOUT, str(exc))
+                failures[key] = exc
+            except ValidationError as exc:
+                log.record(index, attempt, FAILURE_VALIDATION, str(exc))
+                failures[key] = exc
+            except Exception as exc:
+                log.record(
+                    index, attempt, FAILURE_EXCEPTION,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                failures[key] = exc
+            else:
+                resolved[key] = solutions
+                stats.block_seconds[index] = elapsed
+                succeeded.append(key)
+                on_success(key)
+        return succeeded
+
+    def _run_round_pool(
+        self,
+        task,
+        config,
+        round_jobs: dict[str, tuple[int, CircuitBlock, int]],
+        attempt: int,
+        policy: RetryPolicy,
+        base_budget,
+        resolved,
+        stats: BlockSynthesisStats,
+        log: RetryLog,
+        failures: dict[str, BaseException],
+        on_success,
+    ) -> list[str]:
+        """Run one attempt round over a process pool.
+
+        A fresh pool per round: a worker hung past its timeout still
+        occupies its process, so reusing the pool would starve retries.
+        """
+        attempt_config = self._attempt_config(config, policy, base_budget, attempt)
+        timeout = policy.attempt_budget(self.hard_timeout, attempt)
+        succeeded: list[str] = []
+        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(round_jobs)))
+        try:
+            futures = {}
+            for key, (index, block, seed) in round_jobs.items():
+                attempt_seed = policy.attempt_seed(seed, attempt)
+                if self.fault_injector is not None:
+                    futures[key] = pool.submit(
+                        _faulted_task, task, self.fault_injector,
+                        index, attempt, block, attempt_config, attempt_seed,
+                    )
+                else:
+                    futures[key] = pool.submit(
+                        task, block, attempt_config, attempt_seed
+                    )
+            for key, future in futures.items():
+                index = round_jobs[key][0]
+                try:
+                    solutions, elapsed = future.result(timeout=timeout)
+                    if self.validate:
+                        validate_solutions(
+                            round_jobs[key][1].unitary(), solutions
+                        )
                 except FutureTimeoutError as exc:
                     future.cancel()
+                    log.record(
+                        index, attempt, FAILURE_TIMEOUT,
+                        f"hard timeout after {timeout}s",
+                    )
+                    failures[key] = exc
+                except ValidationError as exc:
+                    log.record(index, attempt, FAILURE_VALIDATION, str(exc))
                     failures[key] = exc
                 except Exception as exc:  # worker raised or pool broke
+                    log.record(
+                        index, attempt, FAILURE_EXCEPTION,
+                        f"{type(exc).__name__}: {exc}",
+                    )
                     failures[key] = exc
                 else:
                     resolved[key] = solutions
                     stats.block_seconds[index] = elapsed
+                    succeeded.append(key)
+                    on_success(key)
         finally:
             # Never block the run on a hung worker; timed-out processes
             # are abandoned rather than awaited.
             pool.shutdown(wait=False, cancel_futures=True)
+        return succeeded

@@ -1,0 +1,78 @@
+"""Resilience layer: the pipeline survives faults instead of degrading.
+
+Long multi-block QUEST runs fail in mundane ways — a worker segfaults,
+an optimizer never converges, a cache file rots on disk, the whole
+process gets OOM-killed — and without this package every one of those
+silently downgraded a block to its distance-zero fallback (or lost the
+run entirely).  Four cooperating pieces close those holes:
+
+* :mod:`~repro.resilience.journal` — checkpoint/resume: atomically
+  persisted per-block pools plus a config-fingerprinted manifest, so a
+  killed run resumes bit-identically instead of restarting.
+* :mod:`~repro.resilience.retry` — :class:`RetryPolicy`: failed blocks
+  retry with deterministic per-attempt seeds (same seed first, then
+  ``SeedSequence.spawn`` escalation) and optional budget growth before
+  the exact-pool downgrade; every failure lands in a structured log.
+* :mod:`~repro.resilience.validation` — candidates from workers, the
+  cache, or a checkpoint are health-checked (finite, unitary, distance
+  recomputes) and quarantined on failure.
+* :mod:`~repro.resilience.faults` — a deterministic fault injector
+  (raise / hang / NaN / kill / flip-cache / torn-checkpoint) so each
+  recovery path above is exercised in CI, not discovered in production.
+
+:mod:`~repro.resilience.deadline` supplies the cooperative per-block
+deadline that bounds inline (``workers == 1``) synthesis, which the hard
+process-pool timeout cannot reach.
+"""
+
+from repro.resilience.deadline import (
+    block_deadline,
+    check_deadline,
+    deadline_remaining,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    parse_fault_spec,
+)
+from repro.resilience.journal import (
+    JOURNAL_VERSION,
+    RunJournal,
+    quest_fingerprint,
+)
+from repro.resilience.retry import (
+    FAILURE_KINDS,
+    FailureRecord,
+    RetryLog,
+    RetryPolicy,
+)
+from repro.resilience.validation import (
+    DEFAULT_DISTANCE_TOL,
+    DEFAULT_UNITARITY_TOL,
+    validate_pool,
+    validate_solutions,
+)
+
+__all__ = [
+    "block_deadline",
+    "check_deadline",
+    "deadline_remaining",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "parse_fault_spec",
+    "JOURNAL_VERSION",
+    "RunJournal",
+    "quest_fingerprint",
+    "FAILURE_KINDS",
+    "FailureRecord",
+    "RetryLog",
+    "RetryPolicy",
+    "DEFAULT_DISTANCE_TOL",
+    "DEFAULT_UNITARITY_TOL",
+    "validate_pool",
+    "validate_solutions",
+]

@@ -1,0 +1,262 @@
+"""Checkpoint/resume journal for QUEST runs.
+
+Per-block synthesis dominates a run's wall time, and the blocks complete
+independently — so a crash three hours into a forty-block run should
+cost one block, not forty.  :class:`RunJournal` persists, under a
+``checkpoint_dir``:
+
+``manifest.json``
+    The run's identity, written once at start: journal format version,
+    the **config fingerprint** (a digest of the baseline circuit plus
+    every result-affecting :class:`QuestConfig` knob), the pre-drawn
+    per-block seed stream, and the block count.  Resume refuses
+    (:class:`~repro.exceptions.CheckpointError`) when the fingerprint or
+    seed stream disagrees — mixing pools across configs would silently
+    produce garbage.
+
+``block_NNNN.qckpt``
+    One file per completed nontrivial block pool: a pickled envelope
+    ``{version, index, key, checksum, payload}``, where ``key`` is the
+    block's content-addressed cache entry key and ``payload`` the
+    pickled :class:`~repro.core.pool.BlockPool`.  Every entry is
+    published atomically — write temp file, flush, ``fsync``, ``rename``
+    — so a crash mid-write leaves either the previous state or a
+    temp file that resume ignores, never a half-entry under the final
+    name.  Entries that fail the checksum (torn write, bit rot) are
+    quarantined (counted, deleted, resynthesized), never trusted.
+
+Resume is bit-identical by construction: pools round-trip through
+pickle exactly, the seed stream is pre-drawn and verified, and blocks
+not in the journal re-synthesize under the same seeds an uninterrupted
+run would have used.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+
+from repro.exceptions import CheckpointError
+
+#: Bump when the journal layout changes; old directories refuse to resume.
+JOURNAL_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+
+
+def quest_fingerprint(baseline, config) -> str:
+    """Digest of everything that determines a run's results.
+
+    Covers the basis-lowered circuit (via its QASM text) and every
+    :class:`QuestConfig` knob that changes pools or selection.  Runtime
+    knobs — workers, cache, checkpointing, retry policy — are excluded:
+    they change *how* results are computed, not what they are.
+    """
+    from repro.circuits.qasm import circuit_to_qasm
+
+    knobs = (
+        ("max_block_qubits", int(config.max_block_qubits)),
+        ("max_samples", int(config.max_samples)),
+        ("threshold_per_block", float(config.threshold_per_block)),
+        ("weight", float(config.weight)),
+        ("max_layers_per_block", int(config.max_layers_per_block)),
+        ("solutions_per_layer", int(config.solutions_per_layer)),
+        ("max_candidates_per_block", int(config.max_candidates_per_block)),
+        ("instantiation_starts", int(config.instantiation_starts)),
+        ("max_optimizer_iterations", int(config.max_optimizer_iterations)),
+        ("annealing_maxiter", int(config.annealing_maxiter)),
+        ("seed", config.seed),
+        ("block_time_budget", config.block_time_budget),
+        ("sphere_variants_per_count", int(config.sphere_variants_per_count)),
+    )
+    digest = hashlib.sha256()
+    digest.update(circuit_to_qasm(baseline).encode())
+    digest.update(b"\x00")
+    digest.update(repr(knobs).encode())
+    return digest.hexdigest()
+
+
+def _atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Publish ``blob`` at ``path`` via write-temp + fsync + rename."""
+    tmp = path.with_suffix(f"{path.suffix}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        raise
+    # Durability of the rename itself (POSIX): fsync the directory.
+    try:
+        directory_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(directory_fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(directory_fd)
+
+
+class RunJournal:
+    """Atomically journaled per-block pools under a checkpoint dir."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        fingerprint: str,
+        seeds: list[int],
+        *,
+        resume: bool = True,
+        fault_injector=None,
+    ) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint
+        self.seeds = [int(seed) for seed in seeds]
+        self.fault_injector = fault_injector
+        #: Entries that existed but failed integrity/health checks.
+        self.corrupt_entries = 0
+        manifest_path = self._dir / _MANIFEST_NAME
+        if manifest_path.exists():
+            self._check_manifest(manifest_path, resume)
+        else:
+            self._write_manifest(manifest_path)
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def _write_manifest(self, path: Path) -> None:
+        manifest = {
+            "version": JOURNAL_VERSION,
+            "fingerprint": self.fingerprint,
+            "seeds": self.seeds,
+            "num_blocks": len(self.seeds),
+        }
+        _atomic_write_bytes(path, json.dumps(manifest, indent=1).encode())
+
+    def _check_manifest(self, path: Path, resume: bool) -> None:
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint manifest {path}: {exc}"
+            ) from exc
+        if not resume:
+            raise CheckpointError(
+                f"checkpoint directory {self._dir} already holds a run "
+                "journal; resume it (resume=True / --resume) or clear the "
+                "directory for a fresh run"
+            )
+        if manifest.get("version") != JOURNAL_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self._dir} uses journal version "
+                f"{manifest.get('version')!r}, this build writes "
+                f"{JOURNAL_VERSION}; clear the directory to restart"
+            )
+        if manifest.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"refusing to resume from {self._dir}: its config "
+                "fingerprint does not match this run (different circuit "
+                "or QuestConfig); clear the directory to restart"
+            )
+        if [int(s) for s in manifest.get("seeds", [])] != self.seeds:
+            raise CheckpointError(
+                f"refusing to resume from {self._dir}: recorded seed "
+                "stream does not match this run"
+            )
+
+    # ------------------------------------------------------------------
+    # Block entries
+    # ------------------------------------------------------------------
+    def _entry_path(self, index: int) -> Path:
+        return self._dir / f"block_{index:04d}.qckpt"
+
+    def journaled_blocks(self) -> list[int]:
+        """Indices with a published (not necessarily valid) entry."""
+        indices = []
+        for path in sorted(self._dir.glob("block_*.qckpt")):
+            try:
+                indices.append(int(path.stem.split("_")[1]))
+            except (IndexError, ValueError):
+                continue
+        return indices
+
+    def store_pool(self, index: int, key: str, pool) -> None:
+        """Atomically journal ``pool`` as block ``index``'s result."""
+        payload = pickle.dumps(pool, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "version": JOURNAL_VERSION,
+            "index": int(index),
+            "key": key,
+            "checksum": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
+        path = self._entry_path(index)
+        _atomic_write_bytes(
+            path, pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        if self.fault_injector is not None:
+            self.fault_injector.on_checkpoint_write(int(index), path)
+
+    def load_pool(self, index: int, key: str):
+        """Load block ``index``'s journaled pool, or None.
+
+        A missing entry is a plain miss.  An entry that exists but fails
+        any integrity check — unpicklable, wrong version/index/key, bad
+        checksum — is *quarantined*: counted in ``corrupt_entries``,
+        deleted so the block re-journals cleanly, and reported as a miss.
+        """
+        from repro.core.pool import BlockPool
+
+        path = self._entry_path(index)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            envelope = pickle.loads(raw)
+            if not isinstance(envelope, dict):
+                raise ValueError("envelope is not a dict")
+            if envelope.get("version") != JOURNAL_VERSION:
+                raise ValueError("journal version mismatch")
+            if envelope.get("index") != int(index):
+                raise ValueError("entry index mismatch")
+            if envelope.get("key") != key:
+                raise ValueError("entry key mismatch")
+            payload = envelope["payload"]
+            if hashlib.sha256(payload).hexdigest() != envelope["checksum"]:
+                raise ValueError("payload checksum mismatch")
+            pool = pickle.loads(payload)
+            if not isinstance(pool, BlockPool):
+                raise ValueError(
+                    f"payload is {type(pool).__name__}, expected BlockPool"
+                )
+        except (
+            pickle.UnpicklingError,
+            EOFError,
+            ValueError,
+            TypeError,
+            KeyError,
+            AttributeError,
+            ImportError,
+            IndexError,
+        ):
+            self.discard(index)
+            return None
+        return pool
+
+    def discard(self, index: int) -> None:
+        """Quarantine block ``index``'s entry (count + delete)."""
+        self.corrupt_entries += 1
+        self._entry_path(index).unlink(missing_ok=True)

@@ -1,0 +1,141 @@
+"""Health checks for synthesis candidates.
+
+Every candidate set that enters a pool crosses a trust boundary: it came
+back from a worker process, the content-addressed disk cache, or a run
+checkpoint.  A crashed worker, a bit-flipped cache file that slipped
+past its checksum, or a non-converging optimizer can all hand the
+pipeline data that *parses* fine but is numerically garbage — and a
+garbage candidate silently poisons every downstream selection.
+
+``validate_solutions`` / ``validate_pool`` therefore check, for each
+candidate:
+
+* **finiteness** — no NaN/Inf in the recorded distance or the circuit's
+  unitary;
+* **unitarity** — ``U^dag U = I`` to ``unitarity_tol`` (a circuit built
+  from rotation gates is unitary by construction, so any violation means
+  corrupted parameters or a corrupted matrix);
+* **distance consistency** — the HS distance recomputed from the
+  circuit agrees with the recorded one to ``distance_tol``.
+
+Failures raise :class:`~repro.exceptions.ValidationError`; the executor
+quarantines the offending set (records a failure, retries or falls
+back) instead of admitting it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.linalg.unitary import hs_distance
+
+#: Max elementwise deviation of ``U^dag U`` from the identity.  Circuits
+#: are products of exactly-unitary gate matrices, so honest candidates
+#: sit at ~1e-15; 1e-6 leaves orders of magnitude of slack while still
+#: catching any real corruption.
+DEFAULT_UNITARITY_TOL = 1e-6
+#: Max |recomputed - recorded| HS distance.  Recorded distances are
+#: produced from the same parameters the circuit is built from, so
+#: honest candidates agree to float precision.
+DEFAULT_DISTANCE_TOL = 1e-6
+
+
+def _unitarity_defect(unitary: np.ndarray) -> float:
+    """Max elementwise |U^dag U - I| (inf for non-finite input)."""
+    if not np.all(np.isfinite(unitary)):
+        return float("inf")
+    dim = unitary.shape[0]
+    gram = unitary.conj().T @ unitary
+    return float(np.max(np.abs(gram - np.eye(dim))))
+
+
+def validate_candidate_unitary(
+    unitary: np.ndarray,
+    target: np.ndarray,
+    recorded_distance: float,
+    *,
+    label: str,
+    unitarity_tol: float = DEFAULT_UNITARITY_TOL,
+    distance_tol: float = DEFAULT_DISTANCE_TOL,
+) -> None:
+    """Validate one candidate unitary against its target block unitary."""
+    if not np.isfinite(recorded_distance):
+        raise ValidationError(f"{label}: recorded distance is not finite")
+    if not np.all(np.isfinite(unitary)):
+        raise ValidationError(f"{label}: unitary contains non-finite entries")
+    defect = _unitarity_defect(unitary)
+    if defect > unitarity_tol:
+        raise ValidationError(
+            f"{label}: unitarity defect {defect:.3e} exceeds "
+            f"tolerance {unitarity_tol:.1e}"
+        )
+    recomputed = hs_distance(unitary, target)
+    if abs(recomputed - recorded_distance) > distance_tol:
+        raise ValidationError(
+            f"{label}: recomputed HS distance {recomputed:.6e} disagrees "
+            f"with recorded {recorded_distance:.6e} "
+            f"(tolerance {distance_tol:.1e})"
+        )
+
+
+def validate_solutions(
+    target: np.ndarray,
+    solutions,
+    *,
+    unitarity_tol: float = DEFAULT_UNITARITY_TOL,
+    distance_tol: float = DEFAULT_DISTANCE_TOL,
+) -> None:
+    """Validate a worker's / the cache's raw LEAP solution list.
+
+    Raises :class:`ValidationError` naming the first offending solution;
+    an empty list is valid (the pool degenerates to the exact block).
+    """
+    if not isinstance(solutions, list):
+        raise ValidationError(
+            f"solution payload is {type(solutions).__name__}, expected list"
+        )
+    for position, solution in enumerate(solutions):
+        label = f"solution {position} (cnots={solution.cnot_count})"
+        validate_candidate_unitary(
+            solution.circuit.unitary(),
+            target,
+            solution.distance,
+            label=label,
+            unitarity_tol=unitarity_tol,
+            distance_tol=distance_tol,
+        )
+
+
+def validate_pool(
+    pool,
+    *,
+    unitarity_tol: float = DEFAULT_UNITARITY_TOL,
+    distance_tol: float = DEFAULT_DISTANCE_TOL,
+) -> None:
+    """Validate an assembled :class:`BlockPool` (e.g. from a checkpoint).
+
+    Checks the stored original unitary against the block circuit it
+    claims to represent, then every candidate against it.
+    """
+    if not pool.candidates:
+        raise ValidationError("pool has no candidates (not even the exact block)")
+    target = pool.original_unitary
+    if not np.all(np.isfinite(target)):
+        raise ValidationError("pool original unitary contains non-finite entries")
+    if _unitarity_defect(target) > unitarity_tol:
+        raise ValidationError("pool original unitary is not unitary")
+    if not np.allclose(target, pool.block.unitary(), atol=1e-9):
+        raise ValidationError(
+            "pool original unitary disagrees with its block circuit"
+        )
+    for position, candidate in enumerate(pool.candidates):
+        label = f"candidate {position} (cnots={candidate.cnot_count})"
+        validate_candidate_unitary(
+            candidate.unitary,
+            target,
+            candidate.distance,
+            label=label,
+            unitarity_tol=unitarity_tol,
+            distance_tol=distance_tol,
+        )

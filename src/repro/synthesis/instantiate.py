@@ -18,6 +18,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from repro.exceptions import SynthesisError
+from repro.resilience.deadline import check_deadline
 from repro.synthesis.ansatz import Ansatz
 
 
@@ -95,6 +96,10 @@ def instantiate_multi(
 
     results: list[InstantiationResult] = []
     for start in range(starts):
+        # Per-start granularity of the cooperative block deadline: a
+        # deadline overshoots by at most one L-BFGS run, which the
+        # executor's hard-timeout grace already budgets for.
+        check_deadline()
         if start == 0 and initial_params is not None:
             x0 = np.asarray(initial_params, dtype=float)
             if len(x0) != ansatz.num_params:

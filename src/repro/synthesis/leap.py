@@ -19,6 +19,7 @@ import numpy as np
 from repro.circuits.circuit import Circuit
 from repro.exceptions import SynthesisError
 from repro.linalg.su2 import zyz_decompose
+from repro.resilience.deadline import check_deadline
 from repro.synthesis.ansatz import (
     DEFAULT_LAYER_ROTATIONS,
     all_placements,
@@ -193,6 +194,11 @@ def synthesize(
             tuple[float, SynthesisSolution, np.ndarray, tuple[int, int]]
         ] = []
         for placement in placements:
+            # Cooperative hard deadline (inline executor path): unlike
+            # ``time_budget`` below — which exits gracefully with the
+            # pool collected so far — an expired deadline aborts the
+            # block so the executor can retry or fall back.
+            check_deadline()
             structure = best_structure + [placement]
             ansatz = build_leap_ansatz(
                 num_qubits, structure, config.layer_rotations

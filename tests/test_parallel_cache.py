@@ -213,3 +213,45 @@ def test_leftover_tmp_files_are_ignored(tmp_path):
     key = entry_key("7" * 64, 5)
     (tmp_path / f"{key}.tmp.12345").write_bytes(b"half-written")
     assert PoolCache(tmp_path).get(key) is None
+
+
+def test_corrupt_entries_counter(tmp_path):
+    """Integrity failures are *counted*; plain misses are not.
+
+    The counter surfaces through the executor's stats as
+    ``cache_corrupt_entries`` and from there into ``QuestResult``, so a
+    rotting cache directory is visible instead of silently slow.
+    """
+    key = entry_key("c" * 64, 5)
+    cache = PoolCache(tmp_path)
+    cache.put(key, _solutions())
+    (path,) = tmp_path.glob("*.qpool")
+    good = path.read_bytes()
+
+    # Missing entry: a miss, not corruption.
+    fresh = PoolCache(tmp_path)
+    assert fresh.get(entry_key("d" * 64, 5)) is None
+    assert fresh.corrupt_entries == 0
+
+    # Stale format version: a miss, not corruption.
+    stale = dict(pickle.loads(good), version=CACHE_VERSION + 1)
+    path.write_bytes(pickle.dumps(stale))
+    fresh = PoolCache(tmp_path)
+    assert fresh.get(key) is None
+    assert fresh.corrupt_entries == 0
+
+    # Garbled bytes: counted.
+    path.write_bytes(b"rotted")
+    fresh = PoolCache(tmp_path)
+    assert fresh.get(key) is None
+    assert fresh.corrupt_entries == 1
+    # Repeated probes of the same bad entry keep counting (each get()
+    # re-reads disk after the memory miss).
+    assert fresh.get(key) is None
+    assert fresh.corrupt_entries == 2
+
+    # Repair by put(): the counter is a high-water history, not state.
+    path.write_bytes(good)
+    fresh = PoolCache(tmp_path)
+    assert fresh.get(key) is not None
+    assert fresh.corrupt_entries == 0

@@ -31,6 +31,8 @@ def test_top_level_exports_resolve(name):
         "repro.core",
         "repro.algorithms",
         "repro.metrics",
+        "repro.parallel",
+        "repro.resilience",
     ],
 )
 def test_subpackage_all_exports_resolve(module):
@@ -53,6 +55,9 @@ def test_exception_hierarchy():
         exceptions.PartitionError,
         exceptions.SynthesisError,
         exceptions.SelectionError,
+        exceptions.ValidationError,
+        exceptions.CheckpointError,
+        exceptions.BlockTimeoutError,
     ]
     for exc in subclasses:
         assert issubclass(exc, exceptions.ReproError)

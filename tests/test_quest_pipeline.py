@@ -129,3 +129,18 @@ def test_summary_format(tfim_result):
     text = tfim_result.summary()
     assert "approximations" in text
     assert "%" in text
+
+
+def test_empty_selection_raises_selection_error():
+    """Satellite of the resilience PR: an empty ensemble is a typed,
+
+    catchable failure — not a bare ValueError (min of empty list) or a
+    silent NaN reduction.
+    """
+    from repro.core.quest import QuestResult
+
+    empty = QuestResult(original=tfim(3, steps=1), baseline=tfim(3, steps=1))
+    with pytest.raises(SelectionError, match="no circuits"):
+        empty.best_cnot_count
+    with pytest.raises(SelectionError, match="no circuits"):
+        empty.cnot_reduction

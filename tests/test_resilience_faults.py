@@ -1,0 +1,397 @@
+"""The deterministic fault-injection matrix.
+
+Every recovery path gets a scheduled fault and must recover — retry,
+quarantine, or recompute — with results bit-identical to an unfaulted
+run whenever the retry succeeds under the original seed.  The mid-run
+SIGKILL leg of the matrix lives in ``test_resilience_kill.py`` (it
+needs a subprocess harness).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import tfim
+from repro.core.pool import exact_pool
+from repro.core.quest import QuestConfig, run_quest
+from repro.exceptions import BlockTimeoutError, ValidationError
+from repro.parallel.cache import PoolCache
+from repro.parallel.executor import BlockSynthesisExecutor
+from repro.partition.scan import scan_partition
+from repro.resilience import (
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    block_deadline,
+    check_deadline,
+    deadline_remaining,
+    parse_fault_spec,
+)
+from repro.resilience.faults import InjectedFault
+from repro.resilience.retry import FAILURE_TIMEOUT
+from repro.resilience.validation import validate_pool, validate_solutions
+from repro.synthesis.leap import SynthesisSolution
+from repro.transpile.basis import lower_to_basis
+
+FAST = dict(
+    max_samples=3,
+    max_block_qubits=2,
+    max_layers_per_block=2,
+    solutions_per_layer=2,
+    instantiation_starts=1,
+    max_optimizer_iterations=40,
+    annealing_maxiter=40,
+    threshold_per_block=0.25,
+    sphere_variants_per_count=2,
+    block_time_budget=None,
+)
+CONFIG = QuestConfig(seed=3, **FAST)
+
+
+def _blocks():
+    baseline = lower_to_basis(tfim(4, steps=1).without_measurements())
+    return scan_partition(baseline, CONFIG.max_block_qubits)
+
+
+def _seeds(blocks):
+    rng = np.random.default_rng(CONFIG.seed)
+    return [int(rng.integers(2**31 - 1)) for _ in blocks]
+
+
+def _pools_equal(pools_a, pools_b):
+    assert len(pools_a) == len(pools_b)
+    for a, b in zip(pools_a, pools_b):
+        assert a.cnot_counts().tolist() == b.cnot_counts().tolist()
+        assert a.distances().tolist() == b.distances().tolist()
+        for ca, cb in zip(a.candidates, b.candidates):
+            assert np.array_equal(ca.unitary, cb.unitary)
+
+
+# ----------------------------------------------------------------------
+# Cooperative deadline primitives
+# ----------------------------------------------------------------------
+def test_check_deadline_is_a_noop_without_a_deadline():
+    check_deadline()
+    assert deadline_remaining() is None
+
+
+def test_block_deadline_none_is_a_noop():
+    with block_deadline(None):
+        check_deadline()
+        assert deadline_remaining() is None
+
+
+def test_expired_deadline_raises():
+    with block_deadline(0.0):
+        with pytest.raises(BlockTimeoutError):
+            check_deadline()
+
+
+def test_deadline_restores_on_exit():
+    with block_deadline(0.0):
+        pass
+    check_deadline()  # must not raise
+
+
+def test_nested_deadlines_take_the_minimum():
+    with block_deadline(60.0):
+        outer = deadline_remaining()
+        with block_deadline(0.0):
+            with pytest.raises(BlockTimeoutError):
+                check_deadline()
+        # Inner expiry never tightens the outer deadline.
+        assert deadline_remaining() is not None
+        assert abs(deadline_remaining() - outer) < 1.0
+        check_deadline()
+
+
+# ----------------------------------------------------------------------
+# Validation primitives
+# ----------------------------------------------------------------------
+def _exact_solution(block):
+    return SynthesisSolution(
+        circuit=block.circuit,
+        distance=0.0,
+        cnot_count=block.circuit.cnot_count(),
+    )
+
+
+def test_honest_solutions_validate():
+    block = next(b for b in _blocks() if b.num_qubits > 1)
+    validate_solutions(block.unitary(), [_exact_solution(block)])
+    validate_pool(exact_pool(block))
+
+
+def test_nan_distance_is_rejected():
+    from dataclasses import replace
+
+    block = next(b for b in _blocks() if b.num_qubits > 1)
+    bad = replace(_exact_solution(block), distance=float("nan"))
+    with pytest.raises(ValidationError, match="not finite"):
+        validate_solutions(block.unitary(), [bad])
+
+
+def test_wrong_distance_is_rejected():
+    from dataclasses import replace
+
+    block = next(b for b in _blocks() if b.num_qubits > 1)
+    bad = replace(_exact_solution(block), distance=0.5)
+    with pytest.raises(ValidationError, match="disagrees with recorded"):
+        validate_solutions(block.unitary(), [bad])
+
+
+def test_non_list_payload_is_rejected():
+    block = next(b for b in _blocks() if b.num_qubits > 1)
+    with pytest.raises(ValidationError, match="expected list"):
+        validate_solutions(block.unitary(), "garbage")
+
+
+def test_non_unitary_candidate_is_rejected():
+    from dataclasses import replace
+
+    block = next(b for b in _blocks() if b.num_qubits > 1)
+    pool = exact_pool(block)
+    # The exact candidate shares its array with pool.original_unitary,
+    # so corrupt a copy — this targets the *candidate* check.
+    pool.candidates[0] = replace(
+        pool.candidates[0], unitary=pool.candidates[0].unitary * 1.5
+    )
+    with pytest.raises(ValidationError, match="unitarity defect"):
+        validate_pool(pool)
+
+
+def test_empty_pool_is_rejected():
+    block = next(b for b in _blocks() if b.num_qubits > 1)
+    pool = exact_pool(block)
+    pool.candidates.clear()
+    with pytest.raises(ValidationError, match="no candidates"):
+        validate_pool(pool)
+
+
+# ----------------------------------------------------------------------
+# Fault schedule parsing
+# ----------------------------------------------------------------------
+def test_parse_fault_spec_full_syntax():
+    injector = parse_fault_spec("raise@0, hang@2:1, nan@*", seed=7)
+    assert injector.seed == 7
+    assert injector.specs == (
+        FaultSpec("raise", 0, 0),
+        FaultSpec("hang", 2, 1),
+        FaultSpec("nan", None, 0),
+    )
+
+
+def test_parse_fault_spec_bare_kind_matches_everywhere():
+    injector = parse_fault_spec("raise")
+    assert injector.specs == (FaultSpec("raise", None, 0),)
+    assert injector.specs[0].matches(0) and injector.specs[0].matches(17)
+    assert not injector.specs[0].matches(0, attempt=1)
+
+
+@pytest.mark.parametrize("bad", ["explode@1", "", " , "])
+def test_parse_fault_spec_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        parse_fault_spec(bad)
+
+
+def test_fault_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec("explode")
+
+
+def test_raise_fault_fires_only_at_its_coordinates():
+    injector = FaultInjector(specs=(FaultSpec("raise", 2, 1),))
+    injector.on_synthesis_start(2, 0)  # wrong attempt: no fire
+    injector.on_synthesis_start(1, 1)  # wrong block: no fire
+    with pytest.raises(InjectedFault):
+        injector.on_synthesis_start(2, 1)
+    assert injector.fired == [("raise", 2, 1)]
+
+
+def test_hang_fault_honours_the_cooperative_deadline():
+    injector = FaultInjector(specs=(FaultSpec("hang", 0, 0),), hang_seconds=30.0)
+    start = time.monotonic()
+    with block_deadline(0.2):
+        with pytest.raises(BlockTimeoutError):
+            injector.on_synthesis_start(0, 0)
+    assert time.monotonic() - start < 5.0  # interrupted, not slept out
+
+
+# ----------------------------------------------------------------------
+# Matrix leg: hang -> cooperative timeout on the inline path
+# ----------------------------------------------------------------------
+def test_inline_hang_times_out_and_recovers_bit_identically():
+    """Satellite (c): the inline path enforces the block time budget.
+
+    A hang on attempt 0 is cut off by the cooperative deadline (no
+    worker process to abandon), logged as a timeout, and the same-seed
+    retry recovers bit-identically.
+    """
+    blocks = _blocks()
+    seeds = _seeds(blocks)
+    clean_pools, _ = BlockSynthesisExecutor(workers=1).run(blocks, CONFIG, seeds)
+
+    injector = FaultInjector(
+        specs=(FaultSpec("hang", None, 0),), hang_seconds=60.0
+    )
+    runner = BlockSynthesisExecutor(
+        workers=1,
+        hard_timeout=0.5,
+        retry_policy=RetryPolicy(max_attempts=2),
+        fault_injector=injector,
+    )
+    start = time.monotonic()
+    pools, stats = runner.run(blocks, CONFIG, seeds)
+    # Cut off cooperatively: nowhere near the 60s the hang would take.
+    assert time.monotonic() - start < 30.0
+    assert not stats.fallback_blocks
+    assert stats.retries > 0
+    assert stats.failure_log
+    assert all(r.kind == FAILURE_TIMEOUT for r in stats.failure_log)
+    _pools_equal(clean_pools, pools)
+
+
+@pytest.mark.slow
+def test_pool_hang_hits_the_hard_timeout_and_recovers():
+    """The process-pool path bounds a hung worker via the future timeout."""
+    blocks = _blocks()
+    seeds = _seeds(blocks)
+    clean_pools, _ = BlockSynthesisExecutor(workers=2).run(blocks, CONFIG, seeds)
+
+    injector = FaultInjector(
+        specs=(FaultSpec("hang", None, 0),), hang_seconds=45.0
+    )
+    runner = BlockSynthesisExecutor(
+        workers=2,
+        hard_timeout=3.0,
+        retry_policy=RetryPolicy(max_attempts=2),
+        fault_injector=injector,
+    )
+    pools, stats = runner.run(blocks, CONFIG, seeds)
+    assert not stats.fallback_blocks
+    assert stats.retries > 0
+    assert all(r.kind == FAILURE_TIMEOUT for r in stats.failure_log)
+    _pools_equal(clean_pools, pools)
+
+
+# ----------------------------------------------------------------------
+# Matrix leg: corrupt disk-cache entry
+# ----------------------------------------------------------------------
+def test_flipped_cache_entry_is_quarantined_and_recomputed(tmp_path):
+    blocks = _blocks()
+    seeds = _seeds(blocks)
+    clean_pools, _ = BlockSynthesisExecutor(
+        cache=PoolCache(tmp_path / "clean")
+    ).run(blocks, CONFIG, seeds)
+
+    cache_dir = tmp_path / "cache"
+    # Run 1 populates the disk tier; the injector bit-flips the first
+    # entry written, after its atomic publish (at-rest corruption).
+    injector = FaultInjector(specs=(FaultSpec("flip-cache", 0),), seed=5)
+    BlockSynthesisExecutor(
+        cache=PoolCache(cache_dir, fault_injector=injector)
+    ).run(blocks, CONFIG, seeds)
+    assert injector.fired == [("flip-cache", 0, 0)]
+
+    # Run 2 reads the poisoned tier: the checksum catches the flip, the
+    # entry is counted corrupt and recomputed, results stay identical.
+    cache = PoolCache(cache_dir)
+    pools, stats = BlockSynthesisExecutor(cache=cache).run(blocks, CONFIG, seeds)
+    assert cache.corrupt_entries == 1
+    assert stats.cache_corrupt_entries == 1
+    assert not stats.fallback_blocks
+    _pools_equal(clean_pools, pools)
+
+    # Run 3: the recompute overwrote the bad file, so the tier is clean.
+    cache = PoolCache(cache_dir)
+    pools, stats = BlockSynthesisExecutor(cache=cache).run(blocks, CONFIG, seeds)
+    assert cache.corrupt_entries == 0
+    assert stats.cache_misses == 0
+    _pools_equal(clean_pools, pools)
+
+
+# ----------------------------------------------------------------------
+# Matrix leg: torn checkpoint write
+# ----------------------------------------------------------------------
+def test_torn_checkpoint_is_quarantined_on_resume(tmp_path):
+    circuit = tfim(4, steps=1)
+    config = QuestConfig(seed=5, **FAST)
+    clean = run_quest(circuit, config)
+
+    # Tear every journal entry as it is written (crash mid-checkpoint).
+    injector = FaultInjector(specs=(FaultSpec("torn-checkpoint", None),), seed=9)
+    run_quest(
+        circuit,
+        config,
+        checkpoint_dir=tmp_path / "ckpt",
+        fault_injector=injector,
+    )
+    assert any(kind == "torn-checkpoint" for kind, _, _ in injector.fired)
+
+    # Resume: torn entries fail their checksum, are quarantined, and the
+    # blocks resynthesize under the journaled seed stream — identical.
+    resumed = run_quest(circuit, config, checkpoint_dir=tmp_path / "ckpt")
+    assert resumed.checkpoint_corrupt_entries > 0
+    assert resumed.checkpoint_hits == 0
+    assert clean.selection.bounds == resumed.selection.bounds
+    for ca, cb in zip(clean.circuits, resumed.circuits):
+        assert ca.cnot_count() == cb.cnot_count()
+        assert np.array_equal(ca.unitary(), cb.unitary())
+    # The re-journaled entries are whole: a second resume skips synthesis.
+    again = run_quest(circuit, config, checkpoint_dir=tmp_path / "ckpt")
+    assert again.checkpoint_corrupt_entries == 0
+    assert again.checkpoint_hits > 0
+    assert again.cache_misses == 0
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def test_cli_inject_faults_flag(tmp_path, capsys):
+    from repro.circuits import circuit_to_qasm
+    from repro.cli import main
+
+    qasm_path = tmp_path / "tfim.qasm"
+    qasm_path.write_text(circuit_to_qasm(tfim(3, steps=1)))
+    code = main(
+        [
+            str(qasm_path),
+            "--out-dir", str(tmp_path / "out"),
+            "--threshold", "0.3",
+            "--max-samples", "2",
+            "--block-qubits", "2",
+            "--time-budget", "10",
+            "--seed", "1",
+            "--inject-faults", "raise@*:0",
+            "--fault-seed", "3",
+        ]
+    )
+    assert code == 0  # the default retry policy absorbs the fault
+    captured = capsys.readouterr()
+    assert "CNOTs" in captured.out
+    assert "[exception]" in captured.err  # failure log reaches stderr
+
+
+def test_cli_rejects_a_bad_fault_spec(tmp_path, capsys):
+    from repro.circuits import circuit_to_qasm
+    from repro.cli import main
+
+    qasm_path = tmp_path / "tfim.qasm"
+    qasm_path.write_text(circuit_to_qasm(tfim(3, steps=1)))
+    code = main([str(qasm_path), "--inject-faults", "explode@1"])
+    assert code == 2
+    assert "unknown fault kind" in capsys.readouterr().err
+
+
+def test_cli_resume_requires_checkpoint_dir(tmp_path, capsys):
+    from repro.circuits import circuit_to_qasm
+    from repro.cli import main
+
+    qasm_path = tmp_path / "tfim.qasm"
+    qasm_path.write_text(circuit_to_qasm(tfim(3, steps=1)))
+    code = main([str(qasm_path), "--resume"])
+    assert code == 2
+    assert "--resume requires --checkpoint-dir" in capsys.readouterr().err

@@ -1,0 +1,247 @@
+"""Run journal: manifest identity checks, atomic entries, quarantine."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.algorithms import tfim
+from repro.core.pool import exact_pool
+from repro.core.quest import QuestConfig, run_quest
+from repro.exceptions import CheckpointError
+from repro.partition.scan import scan_partition
+from repro.resilience.journal import (
+    JOURNAL_VERSION,
+    RunJournal,
+    quest_fingerprint,
+)
+from repro.transpile.basis import lower_to_basis
+
+FAST = dict(
+    max_samples=3,
+    max_block_qubits=2,
+    max_layers_per_block=2,
+    solutions_per_layer=2,
+    instantiation_starts=1,
+    max_optimizer_iterations=40,
+    annealing_maxiter=40,
+    threshold_per_block=0.25,
+    sphere_variants_per_count=2,
+    block_time_budget=None,
+)
+
+
+def _baseline():
+    return lower_to_basis(tfim(4, steps=1).without_measurements())
+
+
+def _pool():
+    blocks = scan_partition(_baseline(), 2)
+    return exact_pool(blocks[0])
+
+
+# ----------------------------------------------------------------------
+# Fingerprint
+# ----------------------------------------------------------------------
+def test_fingerprint_tracks_result_affecting_knobs():
+    baseline = _baseline()
+    base = quest_fingerprint(baseline, QuestConfig(seed=1, **FAST))
+    assert base == quest_fingerprint(baseline, QuestConfig(seed=1, **FAST))
+    # Result-affecting knobs change the fingerprint...
+    assert base != quest_fingerprint(baseline, QuestConfig(seed=2, **FAST))
+    changed = dict(FAST, threshold_per_block=0.3)
+    assert base != quest_fingerprint(baseline, QuestConfig(seed=1, **changed))
+    # ...while runtime-only knobs do not.
+    runtime = QuestConfig(seed=1, workers=4, cache=False, retry_attempts=5, **FAST)
+    assert base == quest_fingerprint(baseline, runtime)
+
+
+def test_fingerprint_tracks_the_circuit():
+    config = QuestConfig(seed=1, **FAST)
+    other = lower_to_basis(tfim(5, steps=1).without_measurements())
+    assert quest_fingerprint(_baseline(), config) != quest_fingerprint(other, config)
+
+
+# ----------------------------------------------------------------------
+# Manifest / resume refusal
+# ----------------------------------------------------------------------
+def test_fresh_directory_writes_a_manifest(tmp_path):
+    journal = RunJournal(tmp_path, "fp", [1, 2, 3])
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest == {
+        "version": JOURNAL_VERSION,
+        "fingerprint": "fp",
+        "seeds": [1, 2, 3],
+        "num_blocks": 3,
+    }
+    assert journal.journaled_blocks() == []
+
+
+def test_resume_false_refuses_an_existing_journal(tmp_path):
+    RunJournal(tmp_path, "fp", [1])
+    with pytest.raises(CheckpointError, match="already holds a run journal"):
+        RunJournal(tmp_path, "fp", [1], resume=False)
+
+
+def test_resume_refuses_a_mismatched_fingerprint(tmp_path):
+    RunJournal(tmp_path, "fp-a", [1])
+    with pytest.raises(CheckpointError, match="fingerprint does not match"):
+        RunJournal(tmp_path, "fp-b", [1])
+
+
+def test_resume_refuses_a_mismatched_seed_stream(tmp_path):
+    RunJournal(tmp_path, "fp", [1, 2])
+    with pytest.raises(CheckpointError, match="seed stream does not match"):
+        RunJournal(tmp_path, "fp", [1, 3])
+
+
+def test_resume_refuses_an_unknown_journal_version(tmp_path):
+    RunJournal(tmp_path, "fp", [1])
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    manifest["version"] = JOURNAL_VERSION + 1
+    (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(CheckpointError, match="journal version"):
+        RunJournal(tmp_path, "fp", [1])
+
+
+def test_resume_refuses_a_garbled_manifest(tmp_path):
+    RunJournal(tmp_path, "fp", [1])
+    (tmp_path / "manifest.json").write_text("{not json")
+    with pytest.raises(CheckpointError, match="unreadable checkpoint manifest"):
+        RunJournal(tmp_path, "fp", [1])
+
+
+# ----------------------------------------------------------------------
+# Entries: round-trip, atomicity, quarantine
+# ----------------------------------------------------------------------
+def test_store_then_load_round_trips_bit_identically(tmp_path):
+    journal = RunJournal(tmp_path, "fp", [1])
+    pool = _pool()
+    journal.store_pool(0, "key-0", pool)
+    assert journal.journaled_blocks() == [0]
+    loaded = journal.load_pool(0, "key-0")
+    assert loaded is not None
+    assert np.array_equal(loaded.original_unitary, pool.original_unitary)
+    assert loaded.cnot_counts().tolist() == pool.cnot_counts().tolist()
+    for a, b in zip(loaded.candidates, pool.candidates):
+        assert np.array_equal(a.unitary, b.unitary)
+    assert journal.corrupt_entries == 0
+
+
+def test_missing_entry_is_a_plain_miss(tmp_path):
+    journal = RunJournal(tmp_path, "fp", [1])
+    assert journal.load_pool(0, "key-0") is None
+    assert journal.corrupt_entries == 0
+
+
+def test_no_temp_files_survive_a_publish(tmp_path):
+    journal = RunJournal(tmp_path, "fp", [1])
+    journal.store_pool(0, "key-0", _pool())
+    leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+    assert leftovers == []
+
+
+def test_key_mismatch_is_quarantined(tmp_path):
+    """An entry journaled under a different cache key must not resume."""
+    journal = RunJournal(tmp_path, "fp", [1])
+    journal.store_pool(0, "key-old", _pool())
+    assert journal.load_pool(0, "key-new") is None
+    assert journal.corrupt_entries == 1
+    assert journal.journaled_blocks() == []  # quarantine deletes the file
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    ["truncate", "garbage", "bitflip", "wrong-type"],
+)
+def test_corrupt_entries_are_quarantined_and_deleted(tmp_path, corruption):
+    journal = RunJournal(tmp_path, "fp", [1])
+    journal.store_pool(0, "key-0", _pool())
+    path = tmp_path / "block_0000.qckpt"
+    raw = path.read_bytes()
+    if corruption == "truncate":
+        path.write_bytes(raw[: len(raw) // 3])
+    elif corruption == "garbage":
+        path.write_bytes(b"not a pickle at all")
+    elif corruption == "bitflip":
+        flipped = bytearray(raw)
+        flipped[len(raw) // 2] ^= 0x40
+        path.write_bytes(bytes(flipped))
+    else:  # wrong payload type behind a valid checksum
+        payload = pickle.dumps({"not": "a pool"})
+        import hashlib
+
+        envelope = {
+            "version": JOURNAL_VERSION,
+            "index": 0,
+            "key": "key-0",
+            "checksum": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
+        path.write_bytes(pickle.dumps(envelope))
+    assert journal.load_pool(0, "key-0") is None
+    assert journal.corrupt_entries == 1
+    assert not path.exists()
+
+
+# ----------------------------------------------------------------------
+# End-to-end resume through run_quest
+# ----------------------------------------------------------------------
+def _run_config(**overrides):
+    return QuestConfig(seed=5, **dict(FAST, **overrides))
+
+
+def _results_identical(a, b):
+    assert a.original_cnot_count == b.original_cnot_count
+    assert len(a.circuits) == len(b.circuits)
+    assert a.selection.bounds == b.selection.bounds
+    for ca, cb in zip(a.circuits, b.circuits):
+        assert ca.cnot_count() == cb.cnot_count()
+        assert np.array_equal(ca.unitary(), cb.unitary())
+
+
+def test_checkpointed_run_matches_a_plain_run(tmp_path):
+    circuit = tfim(4, steps=1)
+    plain = run_quest(circuit, _run_config())
+    checkpointed = run_quest(
+        circuit, _run_config(), checkpoint_dir=tmp_path / "ckpt"
+    )
+    _results_identical(plain, checkpointed)
+    assert checkpointed.checkpoint_hits == 0
+
+
+def test_resume_skips_journaled_blocks_bit_identically(tmp_path):
+    circuit = tfim(4, steps=1)
+    first = run_quest(circuit, _run_config(), checkpoint_dir=tmp_path / "ckpt")
+    resumed = run_quest(circuit, _run_config(), checkpoint_dir=tmp_path / "ckpt")
+    _results_identical(first, resumed)
+    assert resumed.checkpoint_hits > 0
+    # Every nontrivial block came from the journal: no synthesis at all.
+    assert resumed.cache_misses == 0
+    assert "resumed from checkpoint" in resumed.summary()
+
+
+def test_resume_refuses_a_different_config_end_to_end(tmp_path):
+    circuit = tfim(4, steps=1)
+    run_quest(circuit, _run_config(), checkpoint_dir=tmp_path / "ckpt")
+    with pytest.raises(CheckpointError, match="fingerprint does not match"):
+        run_quest(
+            circuit,
+            _run_config(threshold_per_block=0.35),
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+
+
+def test_resume_false_refuses_reuse_end_to_end(tmp_path):
+    circuit = tfim(4, steps=1)
+    run_quest(circuit, _run_config(), checkpoint_dir=tmp_path / "ckpt")
+    with pytest.raises(CheckpointError, match="already holds a run journal"):
+        run_quest(
+            circuit,
+            _run_config(),
+            checkpoint_dir=tmp_path / "ckpt",
+            resume=False,
+        )

@@ -1,0 +1,205 @@
+"""Retry policy: deterministic seed escalation and executor retry flow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import tfim
+from repro.core.quest import QuestConfig
+from repro.parallel.executor import BlockSynthesisExecutor
+from repro.partition.scan import scan_partition
+from repro.resilience import FaultInjector, FaultSpec, RetryPolicy
+from repro.resilience.retry import (
+    FAILURE_EXCEPTION,
+    FAILURE_VALIDATION,
+    FailureRecord,
+)
+from repro.transpile.basis import lower_to_basis
+
+CONFIG = QuestConfig(
+    seed=3,
+    max_samples=3,
+    max_block_qubits=2,
+    max_layers_per_block=2,
+    solutions_per_layer=2,
+    instantiation_starts=1,
+    max_optimizer_iterations=40,
+    annealing_maxiter=40,
+    threshold_per_block=0.25,
+    sphere_variants_per_count=2,
+    block_time_budget=None,
+)
+
+
+def _blocks():
+    baseline = lower_to_basis(tfim(4, steps=1).without_measurements())
+    return scan_partition(baseline, CONFIG.max_block_qubits)
+
+
+def _seeds(blocks):
+    rng = np.random.default_rng(CONFIG.seed)
+    return [int(rng.integers(2**31 - 1)) for _ in blocks]
+
+
+def _pools_equal(pools_a, pools_b):
+    assert len(pools_a) == len(pools_b)
+    for a, b in zip(pools_a, pools_b):
+        assert a.cnot_counts().tolist() == b.cnot_counts().tolist()
+        assert a.distances().tolist() == b.distances().tolist()
+        for ca, cb in zip(a.candidates, b.candidates):
+            assert np.array_equal(ca.unitary, cb.unitary)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy unit behaviour
+# ----------------------------------------------------------------------
+def test_attempt_zero_uses_the_block_seed():
+    policy = RetryPolicy(max_attempts=4)
+    assert policy.attempt_seed(12345, 0) == 12345
+
+
+def test_first_retry_reuses_the_seed_then_escalates():
+    policy = RetryPolicy(max_attempts=4, same_seed_retries=1)
+    assert policy.attempt_seed(12345, 1) == 12345
+    escalated = policy.attempt_seed(12345, 2)
+    assert escalated != 12345
+    # Deterministic: same (seed, attempt) -> same escalated seed.
+    assert policy.attempt_seed(12345, 2) == escalated
+    assert policy.attempt_seed(12345, 3) != escalated
+    # Matches the documented SeedSequence.spawn derivation.
+    expected = int(
+        np.random.SeedSequence(12345).spawn(1)[-1].generate_state(1)[0]
+        % (2**31 - 1)
+    )
+    assert escalated == expected
+
+
+def test_budget_multiplier_scales_geometrically():
+    policy = RetryPolicy(max_attempts=3, budget_multiplier=2.0)
+    assert policy.attempt_budget(10.0, 0) == 10.0
+    assert policy.attempt_budget(10.0, 1) == 20.0
+    assert policy.attempt_budget(10.0, 2) == 40.0
+    assert policy.attempt_budget(None, 2) is None
+
+
+def test_baseline_attempt_detection():
+    flat = RetryPolicy(max_attempts=3, budget_multiplier=1.0)
+    assert flat.is_baseline_attempt(7, 0, 10.0)
+    assert flat.is_baseline_attempt(7, 1, 10.0)  # same seed, flat budget
+    assert not flat.is_baseline_attempt(7, 2, 10.0)  # escalated seed
+    scaled = RetryPolicy(max_attempts=3, budget_multiplier=2.0)
+    assert scaled.is_baseline_attempt(7, 0, 10.0)
+    assert not scaled.is_baseline_attempt(7, 1, 10.0)  # budget grew
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="max_attempts"):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError, match="budget_multiplier"):
+        RetryPolicy(budget_multiplier=0.0)
+    with pytest.raises(ValueError, match="same_seed_retries"):
+        RetryPolicy(same_seed_retries=-1)
+
+
+def test_failure_record_round_trips_to_dict():
+    record = FailureRecord(3, 1, FAILURE_EXCEPTION, "boom")
+    assert record.as_dict() == {
+        "block_index": 3,
+        "attempt": 1,
+        "kind": FAILURE_EXCEPTION,
+        "message": "boom",
+    }
+
+
+# ----------------------------------------------------------------------
+# Executor retry flow
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2], ids=["inline", "process-pool"])
+def test_transient_raise_recovers_bit_identically(workers):
+    """A fault on attempt 0 retries on the same seed: results identical."""
+    blocks = _blocks()
+    seeds = _seeds(blocks)
+    clean_pools, clean_stats = BlockSynthesisExecutor(workers=workers).run(
+        blocks, CONFIG, seeds
+    )
+    assert not clean_stats.failure_log
+
+    injector = FaultInjector(specs=(FaultSpec("raise", None, 0),))
+    runner = BlockSynthesisExecutor(
+        workers=workers,
+        retry_policy=RetryPolicy(max_attempts=2),
+        fault_injector=injector,
+    )
+    pools, stats = runner.run(blocks, CONFIG, seeds)
+    assert stats.retries > 0
+    assert not stats.fallback_blocks
+    assert all(r.kind == FAILURE_EXCEPTION for r in stats.failure_log)
+    assert all(r.attempt == 0 for r in stats.failure_log)
+    _pools_equal(clean_pools, pools)
+
+
+def test_nan_corruption_is_quarantined_then_recovered():
+    blocks = _blocks()
+    seeds = _seeds(blocks)
+    clean_pools, _ = BlockSynthesisExecutor().run(blocks, CONFIG, seeds)
+
+    injector = FaultInjector(specs=(FaultSpec("nan", None, 0),), seed=11)
+    runner = BlockSynthesisExecutor(
+        retry_policy=RetryPolicy(max_attempts=2), fault_injector=injector
+    )
+    pools, stats = runner.run(blocks, CONFIG, seeds)
+    assert not stats.fallback_blocks
+    assert stats.failure_log
+    assert all(r.kind == FAILURE_VALIDATION for r in stats.failure_log)
+    _pools_equal(clean_pools, pools)
+
+
+def test_exhausted_retries_still_fall_back():
+    """Faults on every attempt: the exact-pool downgrade still guards."""
+    blocks = _blocks()
+    seeds = _seeds(blocks)
+    specs = tuple(FaultSpec("raise", None, attempt) for attempt in range(3))
+    runner = BlockSynthesisExecutor(
+        retry_policy=RetryPolicy(max_attempts=3),
+        fault_injector=FaultInjector(specs=specs),
+    )
+    with pytest.warns(RuntimeWarning, match="falling back to the exact block"):
+        pools, stats = runner.run(blocks, CONFIG, seeds)
+    nontrivial = [
+        i
+        for i, b in enumerate(blocks)
+        if b.num_qubits > 1 and b.circuit.cnot_count() > 0
+    ]
+    assert stats.fallback_blocks
+    for index in stats.fallback_blocks:
+        assert index in nontrivial
+        assert pools[index].size == 1
+        assert pools[index].candidates[0].distance == 0.0
+    # Every failed attempt is logged: jobs x attempts.
+    per_block = {}
+    for record in stats.failure_log:
+        per_block.setdefault(record.block_index, []).append(record.attempt)
+    for attempts in per_block.values():
+        assert attempts == [0, 1, 2]
+
+
+def test_escalated_seed_changes_the_synthesis_stream():
+    """Attempts past same_seed_retries genuinely explore a new seed."""
+    blocks = _blocks()
+    seeds = _seeds(blocks)
+    clean_pools, _ = BlockSynthesisExecutor().run(blocks, CONFIG, seeds)
+    # Fail attempts 0 and 1 so the success lands on the escalated seed.
+    specs = tuple(FaultSpec("raise", None, attempt) for attempt in range(2))
+    runner = BlockSynthesisExecutor(
+        retry_policy=RetryPolicy(max_attempts=3),
+        fault_injector=FaultInjector(specs=specs),
+    )
+    pools, stats = runner.run(blocks, CONFIG, seeds)
+    assert not stats.fallback_blocks
+    assert stats.retries > 0
+    # Pools exist for every block and remain healthy (validated), even
+    # though candidate sets may differ from the attempt-0 stream.
+    assert len(pools) == len(clean_pools)
+    for pool in pools:
+        assert pool.size >= 1
