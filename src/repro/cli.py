@@ -8,17 +8,32 @@ approximation files)::
 
 writes ``approx/approx_00.qasm``, ``approx_01.qasm``, ... plus a summary
 line per approximation.
+
+Observability: ``--trace-file run.trace`` streams span/event JSON lines
+for the whole run (render with ``python -m repro trace-summary
+run.trace``), ``--metrics-json metrics.json`` dumps the run's metrics
+snapshot, and ``--log-level`` funnels all diagnostics through the
+``repro`` logger (below-WARNING to stdout, WARNING+ to stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.circuits import circuit_from_qasm, circuit_to_qasm
 from repro.core import QuestConfig, run_quest
 from repro.exceptions import ReproError
+from repro.observability import (
+    JsonlSink,
+    Tracer,
+    configure_logging,
+    get_logger,
+    render_summary,
+    summarize_trace,
+)
 from repro.resilience.faults import parse_fault_spec
 
 
@@ -121,24 +136,73 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed pinning the random details of injected faults",
     )
+    parser.add_argument(
+        "--trace-file",
+        type=Path,
+        default=None,
+        help="write a JSON-lines span/event trace of the run here "
+        "(render with 'python -m repro trace-summary FILE')",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        type=Path,
+        default=None,
+        help="write the run's metrics snapshot (counters/gauges/"
+        "histograms) to this JSON file",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum level of diagnostics (default info); records "
+        "below warning go to stdout, warning and above to stderr",
+    )
     return parser
 
 
+def build_trace_summary_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace-summary",
+        description="Aggregate a --trace-file JSON-lines trace into "
+        "per-stage wall-time and event-count tables.",
+    )
+    parser.add_argument(
+        "trace", type=Path, help="trace file written by --trace-file"
+    )
+    return parser
+
+
+def _trace_summary_main(argv: list[str]) -> int:
+    args = build_trace_summary_parser().parse_args(argv)
+    try:
+        summary = summarize_trace(args.trace)
+    except OSError as exc:
+        print(f"error reading {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    print(render_summary(summary))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace-summary":
+        return _trace_summary_main(argv[1:])
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    logger = get_logger("cli")
     try:
         circuit = circuit_from_qasm(args.input.read_text())
     except (OSError, ReproError) as exc:
-        print(f"error reading {args.input}: {exc}", file=sys.stderr)
+        logger.error(f"error reading {args.input}: {exc}")
         return 2
     if args.cache_dir is not None and not args.no_cache:
         try:
             args.cache_dir.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
-            print(f"error: cache dir {args.cache_dir}: {exc}", file=sys.stderr)
+            logger.error(f"error: cache dir {args.cache_dir}: {exc}")
             return 2
     if args.resume and args.checkpoint_dir is None:
-        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        logger.error("error: --resume requires --checkpoint-dir")
         return 2
     fault_injector = None
     if args.inject_faults is not None:
@@ -147,7 +211,14 @@ def main(argv: list[str] | None = None) -> int:
                 args.inject_faults, seed=args.fault_seed
             )
         except ValueError as exc:
-            print(f"error: --inject-faults: {exc}", file=sys.stderr)
+            logger.error(f"error: --inject-faults: {exc}")
+            return 2
+    tracer = None
+    if args.trace_file is not None:
+        try:
+            tracer = Tracer(JsonlSink(args.trace_file))
+        except OSError as exc:
+            logger.error(f"error: --trace-file {args.trace_file}: {exc}")
             return 2
     config = QuestConfig(
         seed=args.seed,
@@ -170,41 +241,55 @@ def main(argv: list[str] | None = None) -> int:
             config,
             resume=args.resume,
             fault_injector=fault_injector,
+            tracer=tracer,
         )
     except ReproError as exc:
-        print(f"QUEST failed: {exc}", file=sys.stderr)
+        logger.error(f"QUEST failed: {exc}")
         return 1
+    finally:
+        if tracer is not None:
+            tracer.close()
     args.out_dir.mkdir(parents=True, exist_ok=True)
-    print(result.summary())
-    print(
+    logger.info(result.summary())
+    logger.info(
         f"  synthesis: {result.cache_misses} block(s) synthesized, "
         f"{result.cache_hits} cache hit(s), "
         f"{len(result.synthesis_fallbacks)} fallback(s) "
         f"in {result.timings.synthesis_seconds:.1f}s"
     )
     if result.checkpoint_hits or result.checkpoint_corrupt_entries:
-        print(
+        logger.info(
             f"  checkpoint: {result.checkpoint_hits} block(s) resumed, "
             f"{result.checkpoint_corrupt_entries} corrupt entr(ies) "
             "quarantined"
         )
     if result.cache_corrupt_entries:
-        print(
+        logger.info(
             f"  cache: {result.cache_corrupt_entries} corrupt disk "
             "entr(ies) quarantined and recomputed"
         )
     for record in result.failure_log:
-        print(
+        logger.warning(
             f"  fault: block {record.block_index} attempt {record.attempt} "
-            f"[{record.kind}] {record.message}",
-            file=sys.stderr,
+            f"[{record.kind}] {record.message}"
         )
+    if args.metrics_json is not None:
+        try:
+            args.metrics_json.write_text(
+                json.dumps(result.metrics, indent=1, default=str) + "\n"
+            )
+        except OSError as exc:
+            logger.error(f"error: --metrics-json {args.metrics_json}: {exc}")
+            return 1
+        logger.info(f"  metrics: wrote snapshot to {args.metrics_json}")
+    if args.trace_file is not None:
+        logger.info(f"  trace: wrote span/event stream to {args.trace_file}")
     for index, (approx, bound) in enumerate(
         zip(result.circuits, result.selection.bounds)
     ):
         path = args.out_dir / f"approx_{index:02d}.qasm"
         path.write_text(circuit_to_qasm(approx))
-        print(
+        logger.info(
             f"  {path}: {approx.cnot_count()} CNOTs "
             f"(bound {bound:.4f}, baseline {result.original_cnot_count})"
         )

@@ -21,6 +21,7 @@ from scipy.optimize import dual_annealing
 
 from repro.core.objective import SelectionObjective
 from repro.exceptions import SelectionError
+from repro.observability import get_metrics, get_tracer
 
 #: Search spaces up to this many points are enumerated exactly.
 DEFAULT_EXHAUSTIVE_CUTOFF = 65536
@@ -108,7 +109,7 @@ def select_approximations(
     objective: SelectionObjective,
     max_samples: int = 16,
     maxiter: int = 250,
-    seed: int | None = None,
+    seed: int | np.random.SeedSequence | None = None,
     exhaustive_cutoff: int = DEFAULT_EXHAUSTIVE_CUTOFF,
 ) -> SelectionResult:
     """Run the sequential dual-annealing selection loop.
@@ -120,14 +121,26 @@ def select_approximations(
     """
     if max_samples < 1:
         raise SelectionError("max_samples must be positive")
-    rng = np.random.default_rng(seed)
+    # Per-run annealer seeds are SeedSequence children rather than raw
+    # ``rng.integers(2**31 - 1)`` draws: bounded integer draws collide
+    # (birthday bound) and re-enter the PRNG through the weak
+    # single-integer seeding path, while spawned children are guaranteed
+    # statistically independent streams.
+    seed_seq = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    run_seeds = seed_seq.spawn(max_samples)
+    tracer = get_tracer()
+    metrics = get_metrics()
     result = SelectionResult()
     objective.selected.clear()
     objective.scalar_evaluations = 0
     objective.batched_evaluations = 0
     use_exhaustive = _search_space_size(objective) <= exhaustive_cutoff
     bounds = objective.bounds()
-    for _ in range(max_samples):
+    for sample_index in range(max_samples):
         if use_exhaustive:
             choice = _exhaustive_minimum(objective)
         else:
@@ -135,13 +148,20 @@ def select_approximations(
                 objective,
                 bounds=bounds,
                 maxiter=maxiter,
-                seed=int(rng.integers(2**31 - 1)),
+                seed=np.random.default_rng(run_seeds[sample_index]),
                 no_local_search=True,
                 # Start from the always-feasible all-original choice.
                 x0=np.full(objective.num_blocks, 0.5),
             )
             choice = objective.decode(annealed.x)
         result.annealer_runs += 1
+        if tracer.is_enabled:
+            tracer.event(
+                "selection.round",
+                round=sample_index,
+                exhaustive=use_exhaustive,
+                bound=float(objective.choice_bound(choice)),
+            )
         if objective.choice_bound(choice) > objective.threshold:
             if result.choices:
                 break
@@ -166,4 +186,9 @@ def select_approximations(
         objective.selected.append(choice)
     result.scalar_evaluations = objective.scalar_evaluations
     result.batched_evaluations = objective.batched_evaluations
+    if metrics.is_enabled:
+        metrics.inc("selection.rounds", result.annealer_runs)
+        metrics.inc("selection.batch_evals", result.batched_evaluations)
+        metrics.inc("selection.scalar_evals", result.scalar_evaluations)
+        metrics.gauge("selection.num_selected", result.num_selected)
     return result

@@ -28,6 +28,13 @@ from repro.core.annealing import SelectionResult, select_approximations
 from repro.core.objective import SelectionObjective
 from repro.core.pool import BlockPool
 from repro.exceptions import SelectionError
+from repro.observability import (
+    MetricsRegistry,
+    get_metrics,
+    get_tracer,
+    use_metrics,
+    use_tracer,
+)
 from repro.parallel.cache import PoolCache
 from repro.parallel.executor import (
     BlockSynthesisExecutor,
@@ -168,6 +175,10 @@ class QuestResult:
     cache_corrupt_entries: int = 0
     #: Journal entries that existed but failed integrity/health checks.
     checkpoint_corrupt_entries: int = 0
+    #: Snapshot of the run's metrics registry (counters / gauges /
+    #: histograms; see :mod:`repro.observability.metrics`), dumped by the
+    #: CLI via ``--metrics-json``.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def original_cnot_count(self) -> int:
@@ -247,19 +258,28 @@ class QuestResult:
         if not self.circuits:
             raise SelectionError("no selected circuits to evaluate")
         rng = np.random.default_rng(rng)
+        tracer = get_tracer()
+        metrics = get_metrics()
         start = time.perf_counter()
-        distributions = [
-            noisy_distribution(
-                circuit,
-                noise,
-                trajectories=trajectories,
-                rng=rng,
-                batched=batched,
-            )
-            for circuit in self.circuits
-        ]
-        averaged = average_distributions(distributions)
+        with tracer.span(
+            "quest.noisy_eval",
+            circuits=len(self.circuits),
+            trajectories=trajectories,
+        ):
+            distributions = [
+                noisy_distribution(
+                    circuit,
+                    noise,
+                    trajectories=trajectories,
+                    rng=rng,
+                    batched=batched,
+                )
+                for circuit in self.circuits
+            ]
+            averaged = average_distributions(distributions)
         self.timings.noisy_eval_seconds += time.perf_counter() - start
+        if metrics.is_enabled:
+            metrics.inc("noisy_eval.circuits", len(self.circuits))
         return averaged
 
 
@@ -290,6 +310,8 @@ def run_quest(
     checkpoint_dir: str | None = None,
     resume: bool = True,
     fault_injector=None,
+    tracer=None,
+    metrics=None,
 ) -> QuestResult:
     """Run the full QUEST pipeline on ``circuit``.
 
@@ -305,8 +327,43 @@ def run_quest(
     does an existing journal when ``resume=False``.  ``fault_injector``
     deterministically injects faults for testing
     (see :mod:`repro.resilience.faults`).
+
+    ``tracer`` (a :class:`repro.observability.Tracer`, default: the
+    ambient tracer, usually disabled) receives a span per pipeline
+    phase plus the inner synthesis/selection events; tracing never
+    touches an RNG, so results are bit-identical with it on or off.
+    ``metrics`` (default: a fresh per-run registry) accumulates the run
+    counters snapshotted into ``QuestResult.metrics``.
     """
     config = config or QuestConfig()
+    tracer = tracer if tracer is not None else get_tracer()
+    if metrics is None:
+        ambient = get_metrics()
+        metrics = ambient if ambient.is_enabled else MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        with tracer.span(
+            "quest.run",
+            qubits=circuit.num_qubits,
+            workers=config.workers,
+        ):
+            result = _run_pipeline(
+                circuit, config, checkpoint_dir, resume, fault_injector,
+                tracer, metrics,
+            )
+    result.metrics = metrics.snapshot()
+    return result
+
+
+def _run_pipeline(
+    circuit: Circuit,
+    config: QuestConfig,
+    checkpoint_dir: str | None,
+    resume: bool,
+    fault_injector,
+    tracer,
+    metrics,
+) -> QuestResult:
+    """The pipeline body; runs under the ambient tracer/metrics pair."""
     rng = np.random.default_rng(config.seed)
     baseline = lower_to_basis(circuit.without_measurements())
     if baseline.cnot_count() == 0:
@@ -315,45 +372,49 @@ def run_quest(
     result = QuestResult(original=circuit, baseline=baseline)
 
     start = time.perf_counter()
-    result.blocks = scan_partition(baseline, config.max_block_qubits)
+    with tracer.span("quest.partition"):
+        result.blocks = scan_partition(baseline, config.max_block_qubits)
     result.timings.partition_seconds = time.perf_counter() - start
+    if metrics.is_enabled:
+        metrics.gauge("partition.blocks", len(result.blocks))
 
     start = time.perf_counter()
-    block_seeds = _draw_block_seeds(rng, len(result.blocks))
-    checkpoint_dir = checkpoint_dir or config.checkpoint_dir
-    journal = None
-    if checkpoint_dir is not None:
-        journal = RunJournal(
-            checkpoint_dir,
-            fingerprint=quest_fingerprint(baseline, config),
-            seeds=block_seeds,
-            resume=resume,
+    with tracer.span("quest.synthesis", blocks=len(result.blocks)):
+        block_seeds = _draw_block_seeds(rng, len(result.blocks))
+        checkpoint_dir = checkpoint_dir or config.checkpoint_dir
+        journal = None
+        if checkpoint_dir is not None:
+            journal = RunJournal(
+                checkpoint_dir,
+                fingerprint=quest_fingerprint(baseline, config),
+                seeds=block_seeds,
+                resume=resume,
+                fault_injector=fault_injector,
+            )
+        executor = BlockSynthesisExecutor(
+            workers=config.workers,
+            cache=(
+                PoolCache(config.cache_dir, fault_injector=fault_injector)
+                if config.cache
+                else None
+            ),
+            hard_timeout=(
+                None
+                if config.block_time_budget is None
+                else _HARD_TIMEOUT_FACTOR * config.block_time_budget
+                + _HARD_TIMEOUT_GRACE
+            ),
+            retry_policy=RetryPolicy(
+                max_attempts=config.retry_attempts,
+                budget_multiplier=config.retry_budget_multiplier,
+            ),
+            journal=journal,
             fault_injector=fault_injector,
+            validate=config.validate_candidates,
         )
-    executor = BlockSynthesisExecutor(
-        workers=config.workers,
-        cache=(
-            PoolCache(config.cache_dir, fault_injector=fault_injector)
-            if config.cache
-            else None
-        ),
-        hard_timeout=(
-            None
-            if config.block_time_budget is None
-            else _HARD_TIMEOUT_FACTOR * config.block_time_budget
-            + _HARD_TIMEOUT_GRACE
-        ),
-        retry_policy=RetryPolicy(
-            max_attempts=config.retry_attempts,
-            budget_multiplier=config.retry_budget_multiplier,
-        ),
-        journal=journal,
-        fault_injector=fault_injector,
-        validate=config.validate_candidates,
-    )
-    result.pools, synthesis_stats = executor.run(
-        result.blocks, config, block_seeds
-    )
+        result.pools, synthesis_stats = executor.run(
+            result.blocks, config, block_seeds
+        )
     result.cache_hits = synthesis_stats.cache_hits
     result.cache_misses = synthesis_stats.cache_misses
     result.synthesis_fallbacks = synthesis_stats.fallback_blocks
@@ -375,20 +436,22 @@ def run_quest(
         weight=config.weight,
     )
     start = time.perf_counter()
-    result.selection = select_approximations(
-        objective,
-        max_samples=config.max_samples,
-        maxiter=config.annealing_maxiter,
-        seed=int(rng.integers(2**31 - 1)),
-    )
+    with tracer.span("quest.selection", blocks=len(result.pools)):
+        result.selection = select_approximations(
+            objective,
+            max_samples=config.max_samples,
+            maxiter=config.annealing_maxiter,
+            seed=int(rng.integers(2**31 - 1)),
+        )
     result.timings.annealing_seconds = time.perf_counter() - start
 
-    for choice in result.selection.choices:
-        chosen_blocks = [
-            pool.block.with_circuit(pool.candidates[int(index)].circuit)
-            for pool, index in zip(result.pools, choice)
-        ]
-        result.circuits.append(
-            stitch_blocks(chosen_blocks, baseline.num_qubits)
-        )
+    with tracer.span("quest.stitch", circuits=result.selection.num_selected):
+        for choice in result.selection.choices:
+            chosen_blocks = [
+                pool.block.with_circuit(pool.candidates[int(index)].circuit)
+                for pool, index in zip(result.pools, choice)
+            ]
+            result.circuits.append(
+                stitch_blocks(chosen_blocks, baseline.num_qubits)
+            )
     return result

@@ -1,0 +1,276 @@
+"""Span-based tracing with JSON-lines sinks.
+
+The tracer gives every stage of a QUEST run an inspectable record: a
+*span* wraps a timed region (``with trace.span("synthesis.block",
+block=i): ...``), an *event* marks a point-in-time occurrence (a cache
+hit, a retry, an injected fault).  Both are emitted as one JSON object
+per line to a pluggable sink, so a full run produces a flat, greppable,
+stream-parseable trace (rendered by ``python -m repro trace-summary``).
+
+Design constraints, in order:
+
+**Zero cost when disabled.**  The default tracer is :data:`NULL_TRACER`,
+whose ``span``/``event`` are attribute-lookup-cheap no-ops; hot loops
+additionally guard on ``tracer.is_enabled`` so the disabled path never
+builds an attribute dict.  The pipeline's results must be bit-identical
+with tracing on or off — the tracer never touches an RNG.
+
+**Monotonic durations.**  Span durations come from ``time.monotonic()``
+(immune to wall-clock steps); the ``ts`` field is wall-clock
+``time.time()`` purely for human correlation across processes.
+
+**Nesting and safety.**  The current span lives in a
+:class:`~contextvars.ContextVar`, so nesting works per-thread (and
+per-``asyncio`` task) without explicit plumbing; span ids embed the pid
+plus a locked counter, and :class:`JsonlSink` writes whole lines under a
+lock, so concurrent threads interleave records, never bytes.
+
+**Worker marshalling.**  Worker processes cannot share the parent's
+sink.  They record into a :class:`ListSink` via a ``Tracer`` constructed
+with ``origin="worker"``, return the record list with their payload, and
+the parent re-emits it through :meth:`Tracer.replay`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+
+#: Bump when the record layout changes incompatibly.
+TRACE_VERSION = 1
+
+
+def _json_default(value):
+    """Serialize non-native values: numpy scalars via .item(), rest via str."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+class ListSink:
+    """In-memory sink: collects records in a list.
+
+    Used by tests and by worker processes, whose records are marshalled
+    back to the parent with the synthesis payload.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Append-only JSON-lines file sink.
+
+    Each record is serialized and written as one complete line under a
+    lock, so records from concurrent threads interleave line-wise, never
+    byte-wise.  The handle is flushed per record: a crashed run keeps
+    every event emitted before the crash.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"), default=_json_default)
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+#: Id of the innermost open span in this thread/task (None at top level).
+_CURRENT_SPAN: ContextVar[str | None] = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    ``span`` returns a shared singleton context manager and ``event``
+    returns immediately, so instrumentation costs one attribute lookup
+    and one call on the disabled path; loops that would build attribute
+    dicts guard on :attr:`is_enabled` to avoid even that.
+    """
+
+    is_enabled = False
+    __slots__ = ()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+    def replay(self, records) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """One timed region; emits a single ``span`` record when it closes.
+
+    The record carries the wall-clock start (``ts``), the monotonic
+    duration (``dur``), the span/parent ids, and ``status`` — ``"error"``
+    with the exception text when the body raised (the exception still
+    propagates).
+    """
+
+    __slots__ = (
+        "_tracer", "name", "attrs",
+        "span_id", "parent_id", "_start", "_wall", "_token",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "Span":
+        self.parent_id = _CURRENT_SPAN.get()
+        self.span_id = self._tracer._new_id()
+        self._token = _CURRENT_SPAN.set(self.span_id)
+        self._wall = time.time()
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.monotonic() - self._start
+        _CURRENT_SPAN.reset(self._token)
+        record = {
+            "type": "span",
+            "name": self.name,
+            "ts": self._wall,
+            "dur": duration,
+            "span_id": self.span_id,
+            "pid": os.getpid(),
+            "status": "ok" if exc_type is None else "error",
+        }
+        if self.parent_id is not None:
+            record["parent_id"] = self.parent_id
+        if exc_type is not None:
+            record["error"] = f"{exc_type.__name__}: {exc}"
+        if self.attrs:
+            record["attrs"] = self.attrs
+        self._tracer._emit(record)
+        return False
+
+
+class Tracer:
+    """Enabled tracer writing span/event records to ``sink``.
+
+    ``origin`` (e.g. ``"worker"``) is stamped on every record emitted by
+    this instance, so marshalled worker records stay distinguishable
+    after the parent replays them into the run's sink.
+    """
+
+    is_enabled = True
+
+    def __init__(self, sink, origin: str | None = None) -> None:
+        self.sink = sink
+        self.origin = origin
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def _new_id(self) -> str:
+        with self._lock:
+            self._count += 1
+            count = self._count
+        return f"{os.getpid():x}:{count:x}"
+
+    def _emit(self, record: dict) -> None:
+        if self.origin is not None:
+            record.setdefault("origin", self.origin)
+        self.sink.emit(record)
+
+    def span(self, name: str, **attrs) -> Span:
+        """Context manager timing a region; see :class:`Span`."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Emit a point-in-time ``event`` record inside the current span."""
+        record = {
+            "type": "event",
+            "name": name,
+            "ts": time.time(),
+            "pid": os.getpid(),
+        }
+        span_id = _CURRENT_SPAN.get()
+        if span_id is not None:
+            record["span_id"] = span_id
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
+    def replay(self, records) -> None:
+        """Re-emit records marshalled back from a worker process.
+
+        Records pass through verbatim (they already carry the worker's
+        pid, span ids, and ``origin`` stamp).
+        """
+        for record in records:
+            self.sink.emit(dict(record))
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+#: The ambient tracer; :data:`NULL_TRACER` unless a run installs one.
+_CURRENT_TRACER: ContextVar = ContextVar("repro_tracer", default=NULL_TRACER)
+
+
+def get_tracer():
+    """The tracer for the current context (never None)."""
+    return _CURRENT_TRACER.get()
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Install ``tracer`` (None = disabled) as the ambient tracer."""
+    token = _CURRENT_TRACER.set(NULL_TRACER if tracer is None else tracer)
+    try:
+        yield _CURRENT_TRACER.get()
+    finally:
+        _CURRENT_TRACER.reset(token)

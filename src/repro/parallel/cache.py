@@ -34,6 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.observability import get_metrics, get_tracer
 from repro.synthesis.leap import SynthesisSolution
 
 #: Bump when the entry payload layout changes; old files become misses.
@@ -210,5 +211,11 @@ class PoolCache:
             # Corrupt entry: count it and recompute.  The next put()
             # overwrites the bad file.
             self.corrupt_entries += 1
+            tracer = get_tracer()
+            if tracer.is_enabled:
+                tracer.event("cache.corrupt_entry", key=key)
+            metrics = get_metrics()
+            if metrics.is_enabled:
+                metrics.inc("cache.corrupt_entries")
             return None
         return solutions

@@ -59,12 +59,22 @@ from repro.core.pool import (
     exact_pool,
 )
 from repro.exceptions import BlockTimeoutError, ValidationError
+from repro.observability import (
+    ListSink,
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    use_metrics,
+    use_tracer,
+)
 from repro.parallel.cache import PoolCache, content_key, entry_key
 from repro.partition.blocks import CircuitBlock
 from repro.resilience.deadline import block_deadline
 from repro.resilience.retry import (
     FAILURE_CHECKPOINT,
     FAILURE_EXCEPTION,
+    FAILURE_FALLBACK,
     FAILURE_TIMEOUT,
     FAILURE_VALIDATION,
     FailureRecord,
@@ -139,6 +149,49 @@ def _faulted_task(task, injector, index, attempt, block, config, seed):
     return injector.corrupt_solutions(index, attempt, solutions), elapsed
 
 
+def _observed_task(task, injector, index, attempt, block, config, seed):
+    """Worker-side wrapper that marshals observability back to the parent.
+
+    A worker process cannot write the parent's trace sink, so it records
+    into a local buffer under its own tracer/metrics pair and ships the
+    records home with the candidate payload; the parent replays them into
+    the real sink (stamped ``origin="worker"``) and folds the metrics
+    snapshot into the run registry.  Only reached when the parent tracer
+    or metrics is enabled, so untraced runs keep the plain task pickle.
+    """
+    sink = ListSink()
+    tracer = Tracer(sink, origin="worker")
+    metrics = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        with tracer.span(
+            "synthesis.block", block=index, attempt=attempt, seed=seed
+        ):
+            if injector is not None:
+                injector.on_synthesis_start(index, attempt)
+            solutions, elapsed = task(block, config, seed)
+            if injector is not None:
+                solutions = injector.corrupt_solutions(
+                    index, attempt, solutions
+                )
+    return solutions, elapsed, sink.records, metrics.snapshot()
+
+
+def _note_failure(
+    log: RetryLog, index: int, attempt: int, kind: str, message: str
+) -> None:
+    """Record a failure in the structured log and mirror it as telemetry."""
+    log.record(index, attempt, kind, message)
+    tracer = get_tracer()
+    if tracer.is_enabled:
+        tracer.event(
+            "synthesis.failure", block=index, attempt=attempt, kind=kind
+        )
+    metrics = get_metrics()
+    if metrics.is_enabled:
+        metrics.inc("synthesis.failures")
+        metrics.inc(f"synthesis.failures.{kind}")
+
+
 def assemble_pool(
     block: CircuitBlock,
     solutions: list[SynthesisSolution],
@@ -165,6 +218,9 @@ def assemble_pool(
             per_count=config.sphere_variants_per_count,
             rng=seed,
         )
+    metrics = get_metrics()
+    if metrics.is_enabled:
+        metrics.observe("synthesis.pool_size", pool.size)
     return pool
 
 
@@ -293,6 +349,8 @@ class BlockSynthesisExecutor:
         policy = self.retry_policy or RetryPolicy(max_attempts=1)
         stats = BlockSynthesisStats(block_seconds=[0.0] * len(blocks))
         log = RetryLog()
+        tracer = get_tracer()
+        metrics = get_metrics()
         base_budget = getattr(config, "block_time_budget", None)
         cache_corrupt_before = (
             self.cache.corrupt_entries if self.cache is not None else 0
@@ -324,23 +382,34 @@ class BlockSynthesisExecutor:
                     try:
                         validate_pool(pool)
                     except ValidationError as exc:
-                        log.record(index, 0, FAILURE_CHECKPOINT, str(exc))
+                        _note_failure(
+                            log, index, 0, FAILURE_CHECKPOINT, str(exc)
+                        )
                         self.journal.discard(index)
                         pool = None
                 if pool is not None:
                     pools_by_index[index] = pool
                     stats.checkpoint_hits += 1
+                    if tracer.is_enabled:
+                        tracer.event("checkpoint.hit", block=index)
+                    if metrics.is_enabled:
+                        metrics.inc("checkpoint.hit")
                     continue
             if self.cache is not None:
                 if key in resolved or key in jobs:
                     stats.cache_hits += 1  # within-run repeat
+                    if tracer.is_enabled:
+                        tracer.event("cache.hit", block=index, source="run")
+                    if metrics.is_enabled:
+                        metrics.inc("cache.hit")
                     continue
                 cached = self.cache.get(key)
                 if cached is not None and self.validate:
                     try:
                         validate_solutions(block.unitary(), cached)
                     except ValidationError as exc:
-                        log.record(
+                        _note_failure(
+                            log,
                             index,
                             0,
                             FAILURE_VALIDATION,
@@ -351,6 +420,10 @@ class BlockSynthesisExecutor:
                     resolved[key] = cached
                     resolved_attempt[key] = 0
                     stats.cache_hits += 1
+                    if tracer.is_enabled:
+                        tracer.event("cache.hit", block=index, source="disk")
+                    if metrics.is_enabled:
+                        metrics.inc("cache.hit")
                     continue
                 jobs[key] = (index, block, seed)
             else:
@@ -360,6 +433,8 @@ class BlockSynthesisExecutor:
                     key = f"{key}#{index}"
                 jobs[key] = (index, block, seed)
             stats.cache_misses += 1
+            if metrics.is_enabled:
+                metrics.inc("cache.miss")
 
         def finalize(job_key: str) -> None:
             """Assemble + journal every block the resolved job serves.
@@ -386,6 +461,15 @@ class BlockSynthesisExecutor:
                 break
             if attempt > 0:
                 stats.retries += len(pending)
+                if metrics.is_enabled:
+                    metrics.inc("retry.attempts", len(pending))
+                if tracer.is_enabled:
+                    for pending_key in pending:
+                        tracer.event(
+                            "retry.attempt",
+                            block=pending[pending_key][0],
+                            attempt=attempt,
+                        )
 
             def on_success(key: str, attempt: int = attempt) -> None:
                 # Fires as each job lands (not at round end) so a crash
@@ -429,13 +513,35 @@ class BlockSynthesisExecutor:
             solutions = resolved.get(key)
             if solutions is None:
                 cause = failures.get(key) or failures.get(plan.key)
+                reason = (
+                    f"{type(cause).__name__ if cause else 'worker failure'}: "
+                    f"{cause}"
+                )
                 warnings.warn(
-                    f"block {index}: synthesis unavailable "
-                    f"({type(cause).__name__ if cause else 'worker failure'}: "
-                    f"{cause}); falling back to the exact block",
+                    f"block {index}: synthesis unavailable ({reason}); "
+                    "falling back to the exact block",
                     RuntimeWarning,
                     stacklevel=2,
                 )
+                # The degradation itself is a structured outcome, not
+                # just a warning: downstream consumers (CLI, artifacts,
+                # trace) must be able to see *which* blocks shipped the
+                # exact fallback and why.
+                log.record(
+                    index,
+                    policy.max_attempts,
+                    FAILURE_FALLBACK,
+                    f"degraded to exact block after {policy.max_attempts} "
+                    f"attempt(s): {reason}",
+                )
+                if tracer.is_enabled:
+                    tracer.event(
+                        "executor.fallback",
+                        block=index,
+                        attempts=policy.max_attempts,
+                    )
+                if metrics.is_enabled:
+                    metrics.inc("synthesis.fallbacks")
                 stats.fallback_blocks.append(index)
                 pools.append(exact_pool(block))
                 continue
@@ -479,29 +585,43 @@ class BlockSynthesisExecutor:
         """Run one attempt round inline; returns the keys that succeeded."""
         attempt_config = self._attempt_config(config, policy, base_budget, attempt)
         timeout = policy.attempt_budget(self.hard_timeout, attempt)
+        tracer = get_tracer()
         succeeded: list[str] = []
         for key, (index, block, seed) in round_jobs.items():
             attempt_seed = policy.attempt_seed(seed, attempt)
             try:
-                with block_deadline(timeout):
+                # The span wraps synthesis *and* validation, so a block
+                # that fails either way closes with status="error"; the
+                # except clauses below still see the original exception.
+                with tracer.span(
+                    "synthesis.block",
+                    block=index,
+                    attempt=attempt,
+                    seed=attempt_seed,
+                ):
+                    with block_deadline(timeout):
+                        if self.fault_injector is not None:
+                            self.fault_injector.on_synthesis_start(
+                                index, attempt
+                            )
+                        solutions, elapsed = task(
+                            block, attempt_config, attempt_seed
+                        )
                     if self.fault_injector is not None:
-                        self.fault_injector.on_synthesis_start(index, attempt)
-                    solutions, elapsed = task(block, attempt_config, attempt_seed)
-                if self.fault_injector is not None:
-                    solutions = self.fault_injector.corrupt_solutions(
-                        index, attempt, solutions
-                    )
-                if self.validate:
-                    validate_solutions(block.unitary(), solutions)
+                        solutions = self.fault_injector.corrupt_solutions(
+                            index, attempt, solutions
+                        )
+                    if self.validate:
+                        validate_solutions(block.unitary(), solutions)
             except BlockTimeoutError as exc:
-                log.record(index, attempt, FAILURE_TIMEOUT, str(exc))
+                _note_failure(log, index, attempt, FAILURE_TIMEOUT, str(exc))
                 failures[key] = exc
             except ValidationError as exc:
-                log.record(index, attempt, FAILURE_VALIDATION, str(exc))
+                _note_failure(log, index, attempt, FAILURE_VALIDATION, str(exc))
                 failures[key] = exc
             except Exception as exc:
-                log.record(
-                    index, attempt, FAILURE_EXCEPTION,
+                _note_failure(
+                    log, index, attempt, FAILURE_EXCEPTION,
                     f"{type(exc).__name__}: {exc}",
                 )
                 failures[key] = exc
@@ -533,13 +653,24 @@ class BlockSynthesisExecutor:
         """
         attempt_config = self._attempt_config(config, policy, base_budget, attempt)
         timeout = policy.attempt_budget(self.hard_timeout, attempt)
+        tracer = get_tracer()
+        metrics = get_metrics()
+        # When observability is on, ship the worker-instrumented wrapper
+        # instead of the bare task; disabled runs keep the smaller pickle
+        # and pay nothing.
+        observed = tracer.is_enabled or metrics.is_enabled
         succeeded: list[str] = []
         pool = ProcessPoolExecutor(max_workers=min(self.workers, len(round_jobs)))
         try:
             futures = {}
             for key, (index, block, seed) in round_jobs.items():
                 attempt_seed = policy.attempt_seed(seed, attempt)
-                if self.fault_injector is not None:
+                if observed:
+                    futures[key] = pool.submit(
+                        _observed_task, task, self.fault_injector,
+                        index, attempt, block, attempt_config, attempt_seed,
+                    )
+                elif self.fault_injector is not None:
                     futures[key] = pool.submit(
                         _faulted_task, task, self.fault_injector,
                         index, attempt, block, attempt_config, attempt_seed,
@@ -551,24 +682,35 @@ class BlockSynthesisExecutor:
             for key, future in futures.items():
                 index = round_jobs[key][0]
                 try:
-                    solutions, elapsed = future.result(timeout=timeout)
+                    payload = future.result(timeout=timeout)
+                    if observed:
+                        solutions, elapsed, records, snapshot = payload
+                        # Replay before validation: worker-side events
+                        # must land in the trace even when the returned
+                        # candidates are quarantined below.
+                        tracer.replay(records)
+                        metrics.merge(snapshot)
+                    else:
+                        solutions, elapsed = payload
                     if self.validate:
                         validate_solutions(
                             round_jobs[key][1].unitary(), solutions
                         )
                 except FutureTimeoutError as exc:
                     future.cancel()
-                    log.record(
-                        index, attempt, FAILURE_TIMEOUT,
+                    _note_failure(
+                        log, index, attempt, FAILURE_TIMEOUT,
                         f"hard timeout after {timeout}s",
                     )
                     failures[key] = exc
                 except ValidationError as exc:
-                    log.record(index, attempt, FAILURE_VALIDATION, str(exc))
+                    _note_failure(
+                        log, index, attempt, FAILURE_VALIDATION, str(exc)
+                    )
                     failures[key] = exc
                 except Exception as exc:  # worker raised or pool broke
-                    log.record(
-                        index, attempt, FAILURE_EXCEPTION,
+                    _note_failure(
+                        log, index, attempt, FAILURE_EXCEPTION,
                         f"{type(exc).__name__}: {exc}",
                     )
                     failures[key] = exc

@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.observability import get_metrics, get_tracer
 from repro.resilience.deadline import check_deadline
 
 FAULT_KINDS = (
@@ -126,21 +127,33 @@ class FaultInjector:
             np.random.SeedSequence([int(self.seed) & 0xFFFFFFFF, *context])
         )
 
+    def _note(self, kind: str, block: int, attempt: int = 0) -> None:
+        """Log a fired fault locally and to the ambient tracer/metrics."""
+        self.fired.append((kind, block, attempt))
+        tracer = get_tracer()
+        if tracer.is_enabled:
+            tracer.event(
+                "fault.injected", kind=kind, block=block, attempt=attempt
+            )
+        metrics = get_metrics()
+        if metrics.is_enabled:
+            metrics.inc("faults.injected")
+
     # ------------------------------------------------------------------
     # Synthesis-job hooks
     # ------------------------------------------------------------------
     def on_synthesis_start(self, block: int, attempt: int) -> None:
         """Fire ``kill`` / ``raise`` / ``hang`` faults for this attempt."""
         if self._firing("kill", block, attempt) is not None:
-            self.fired.append(("kill", block, attempt))
+            self._note("kill", block, attempt)
             os.kill(os.getpid(), signal.SIGKILL)
         if self._firing("raise", block, attempt) is not None:
-            self.fired.append(("raise", block, attempt))
+            self._note("raise", block, attempt)
             raise InjectedFault(
                 f"injected worker exception (block {block}, attempt {attempt})"
             )
         if self._firing("hang", block, attempt) is not None:
-            self.fired.append(("hang", block, attempt))
+            self._note("hang", block, attempt)
             end = time.monotonic() + self.hang_seconds
             while time.monotonic() < end:
                 # Raises BlockTimeoutError under a cooperative deadline.
@@ -151,7 +164,7 @@ class FaultInjector:
         """Fire a ``nan`` fault: corrupt one candidate of the result."""
         if self._firing("nan", block, attempt) is None or not solutions:
             return solutions
-        self.fired.append(("nan", block, attempt))
+        self._note("nan", block, attempt)
         from dataclasses import replace
 
         victim = int(self._rng(block, attempt).integers(len(solutions)))
@@ -168,7 +181,7 @@ class FaultInjector:
         self._cache_writes += 1
         if self._firing("flip-cache", ordinal) is None:
             return
-        self.fired.append(("flip-cache", ordinal, 0))
+        self._note("flip-cache", ordinal)
         raw = bytearray(path.read_bytes())
         if not raw:
             return
@@ -181,7 +194,7 @@ class FaultInjector:
         """Fire a ``torn-checkpoint`` fault: truncate the journal entry."""
         if self._firing("torn-checkpoint", block) is None:
             return
-        self.fired.append(("torn-checkpoint", block, 0))
+        self._note("torn-checkpoint", block)
         raw = path.read_bytes()
         keep = int(self._rng(block, len(raw)).integers(1, max(len(raw) // 2, 2)))
         path.write_bytes(raw[:keep])

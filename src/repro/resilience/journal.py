@@ -40,6 +40,7 @@ import pickle
 from pathlib import Path
 
 from repro.exceptions import CheckpointError
+from repro.observability import get_metrics, get_tracer
 
 #: Bump when the journal layout changes; old directories refuse to resume.
 JOURNAL_VERSION = 1
@@ -206,6 +207,12 @@ class RunJournal:
         _atomic_write_bytes(
             path, pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
         )
+        tracer = get_tracer()
+        if tracer.is_enabled:
+            tracer.event("checkpoint.store", block=int(index))
+        metrics = get_metrics()
+        if metrics.is_enabled:
+            metrics.inc("checkpoint.stores")
         if self.fault_injector is not None:
             self.fault_injector.on_checkpoint_write(int(index), path)
 
@@ -259,4 +266,10 @@ class RunJournal:
     def discard(self, index: int) -> None:
         """Quarantine block ``index``'s entry (count + delete)."""
         self.corrupt_entries += 1
+        tracer = get_tracer()
+        if tracer.is_enabled:
+            tracer.event("checkpoint.quarantine", block=int(index))
+        metrics = get_metrics()
+        if metrics.is_enabled:
+            metrics.inc("checkpoint.quarantined")
         self._entry_path(index).unlink(missing_ok=True)

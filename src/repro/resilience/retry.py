@@ -31,11 +31,16 @@ FAILURE_EXCEPTION = "exception"
 FAILURE_TIMEOUT = "timeout"
 FAILURE_VALIDATION = "validation"
 FAILURE_CHECKPOINT = "checkpoint"
+#: Terminal degradation: every attempt failed and the block was replaced
+#: by its exact singleton pool.  Unlike the other kinds this is not an
+#: attempt-level failure but the run-level outcome of exhausting them.
+FAILURE_FALLBACK = "fallback"
 FAILURE_KINDS = (
     FAILURE_EXCEPTION,
     FAILURE_TIMEOUT,
     FAILURE_VALIDATION,
     FAILURE_CHECKPOINT,
+    FAILURE_FALLBACK,
 )
 
 

@@ -18,6 +18,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from repro.exceptions import SynthesisError
+from repro.observability import get_metrics
 from repro.resilience.deadline import check_deadline
 from repro.synthesis.ansatz import Ansatz
 
@@ -134,6 +135,12 @@ def instantiate_multi(
         if stop_at_cost is None and results[-1].cost <= success_cost:
             break
     results.sort(key=lambda r: r.cost)
+    # Metrics only — this is the pipeline's innermost loop, and per-start
+    # trace events would dwarf everything else in the stream.
+    metrics = get_metrics()
+    if metrics.is_enabled:
+        metrics.inc("instantiate.starts", len(results))
+        metrics.observe("instantiate.best_cost", results[0].cost)
     return results
 
 

@@ -1,0 +1,277 @@
+"""Unit tests for the observability substrate (trace, metrics, logs)."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro.observability import (
+    NULL_METRICS,
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    get_logger,
+    get_metrics,
+    get_tracer,
+    render_summary,
+    summarize_records,
+    summarize_trace,
+    use_metrics,
+    use_tracer,
+)
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+def test_span_record_shape():
+    sink = ListSink()
+    tracer = Tracer(sink)
+    with tracer.span("stage.one", block=3):
+        pass
+    (record,) = sink.records
+    assert record["type"] == "span"
+    assert record["name"] == "stage.one"
+    assert record["status"] == "ok"
+    assert record["dur"] >= 0.0
+    assert record["attrs"] == {"block": 3}
+    assert "parent_id" not in record
+    assert isinstance(record["span_id"], str)
+
+
+def test_span_nesting_links_parent_ids():
+    sink = ListSink()
+    tracer = Tracer(sink)
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+        tracer.event("marker")
+    inner_rec, marker, outer_rec = sink.records
+    assert inner_rec["name"] == "inner"
+    assert inner_rec["parent_id"] == outer_rec["span_id"]
+    # The event fired after "inner" closed, so it parents to "outer".
+    assert marker["type"] == "event"
+    assert marker["span_id"] == outer_rec["span_id"]
+    assert outer_rec["name"] == "outer"
+    assert "parent_id" not in outer_rec
+
+
+def test_span_closes_with_error_status_and_propagates():
+    sink = ListSink()
+    tracer = Tracer(sink)
+    with pytest.raises(ValueError, match="boom"):
+        with tracer.span("exploding"):
+            raise ValueError("boom")
+    (record,) = sink.records
+    assert record["status"] == "error"
+    assert record["error"] == "ValueError: boom"
+    # The failed span must not leak as the current parent.
+    tracer.event("after")
+    assert "span_id" not in sink.records[-1]
+
+
+def test_event_records_carry_attrs():
+    sink = ListSink()
+    tracer = Tracer(sink)
+    tracer.event("cache.hit", block=2, source="disk")
+    (record,) = sink.records
+    assert record["type"] == "event"
+    assert record["attrs"] == {"block": 2, "source": "disk"}
+
+
+def test_replay_preserves_origin_and_ids():
+    worker_sink = ListSink()
+    worker = Tracer(worker_sink, origin="worker")
+    with worker.span("synthesis.block", block=0):
+        worker.event("leap.layer", layer=1)
+    parent_sink = ListSink()
+    parent = Tracer(parent_sink)
+    parent.replay(worker_sink.records)
+    assert [r["origin"] for r in parent_sink.records] == ["worker"] * 2
+    assert (
+        parent_sink.records[0]["span_id"]
+        == parent_sink.records[1]["span_id"]
+    )
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.is_enabled is False
+    with NULL_TRACER.span("anything", attr=1):
+        NULL_TRACER.event("nothing")
+    NULL_TRACER.replay([{"type": "event"}])
+    NULL_TRACER.close()
+
+
+def test_ambient_tracer_contextvar():
+    assert get_tracer() is NULL_TRACER
+    tracer = Tracer(ListSink())
+    with use_tracer(tracer):
+        assert get_tracer() is tracer
+        with use_tracer(None):
+            assert get_tracer() is NULL_TRACER
+        assert get_tracer() is tracer
+    assert get_tracer() is NULL_TRACER
+
+
+def test_jsonl_sink_emits_parseable_lines_with_numpy_attrs(tmp_path):
+    path = tmp_path / "run.trace"
+    tracer = Tracer(JsonlSink(path))
+    with tracer.span("stage", count=np.int64(3), cost=np.float64(0.5)):
+        tracer.event("point", value=np.float32(1.5))
+    tracer.close()
+    lines = path.read_text().strip().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert [r["type"] for r in records] == ["event", "span"]
+    assert records[1]["attrs"] == {"count": 3, "cost": 0.5}
+    # Emitting after close is a silent no-op, not a crash.
+    tracer.event("late")
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_metrics_counters_gauges_histograms():
+    registry = MetricsRegistry()
+    registry.inc("hits")
+    registry.inc("hits", 4)
+    registry.gauge("level", 2)
+    registry.gauge("level", 7)
+    registry.observe("size", 3.0)
+    registry.observe("size", 9.0)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"hits": 5}
+    assert snap["gauges"] == {"level": 7}
+    assert snap["histograms"]["size"] == {
+        "count": 2,
+        "sum": 12.0,
+        "min": 3.0,
+        "max": 9.0,
+        "mean": 6.0,
+    }
+
+
+def test_metrics_merge_combines_snapshots():
+    parent = MetricsRegistry()
+    parent.inc("hits", 2)
+    parent.observe("size", 1.0)
+    worker = MetricsRegistry()
+    worker.inc("hits", 3)
+    worker.inc("layers")
+    worker.gauge("level", 5)
+    worker.observe("size", 7.0)
+    parent.merge(worker.snapshot())
+    snap = parent.snapshot()
+    assert snap["counters"] == {"hits": 5, "layers": 1}
+    assert snap["gauges"] == {"level": 5}
+    assert snap["histograms"]["size"]["count"] == 2
+    assert snap["histograms"]["size"]["min"] == 1.0
+    assert snap["histograms"]["size"]["max"] == 7.0
+    parent.merge({})  # Empty merge is a no-op.
+    assert parent.snapshot() == snap
+
+
+def test_null_metrics_is_inert():
+    assert NULL_METRICS.is_enabled is False
+    NULL_METRICS.inc("x")
+    NULL_METRICS.gauge("x", 1)
+    NULL_METRICS.observe("x", 1)
+    NULL_METRICS.merge({"counters": {"x": 1}})
+    assert NULL_METRICS.snapshot() == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+
+
+def test_ambient_metrics_contextvar():
+    assert get_metrics() is NULL_METRICS
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        assert get_metrics() is registry
+    assert get_metrics() is NULL_METRICS
+
+
+# ----------------------------------------------------------------------
+# Trace summary
+# ----------------------------------------------------------------------
+def test_summarize_records_aggregates_spans_and_events():
+    records = [
+        {"type": "span", "name": "quest.synthesis", "dur": 2.0, "status": "ok"},
+        {"type": "span", "name": "quest.synthesis", "dur": 1.0, "status": "error"},
+        {"type": "span", "name": "quest.selection", "dur": 0.5, "status": "ok"},
+        {"type": "event", "name": "cache.hit"},
+        {"type": "event", "name": "cache.hit"},
+    ]
+    summary = summarize_records(records)
+    assert summary.records == 5
+    assert summary.spans["quest.synthesis"].count == 2
+    assert summary.spans["quest.synthesis"].total_seconds == 3.0
+    assert summary.spans["quest.synthesis"].errors == 1
+    assert summary.events == {"cache.hit": 2}
+    assert summary.stage_totals() == {"synthesis": 3.0, "selection": 0.5}
+    text = render_summary(summary)
+    assert "quest.synthesis" in text
+    assert "cache.hit" in text
+    assert "5 record(s)" in text
+
+
+def test_summarize_trace_skips_malformed_lines(tmp_path):
+    path = tmp_path / "junk.trace"
+    path.write_text(
+        '{"type":"span","name":"quest.partition","dur":0.25,"status":"ok"}\n'
+        "this is not json\n"
+        "\n"
+        '["a","list","not","a","dict"]\n'
+    )
+    summary = summarize_trace(path)
+    assert summary.records == 1
+    assert summary.malformed_lines == 2
+    assert "malformed" in render_summary(summary)
+
+
+# ----------------------------------------------------------------------
+# Logging
+# ----------------------------------------------------------------------
+def test_configure_logging_splits_streams(capsys):
+    logger = configure_logging("info")
+    logger.info("progress line")
+    logger.warning("degradation line")
+    captured = capsys.readouterr()
+    assert "progress line" in captured.out
+    assert "progress line" not in captured.err
+    assert "degradation line" in captured.err
+    assert "degradation line" not in captured.out
+
+
+def test_configure_logging_level_filters(capsys):
+    logger = configure_logging("warning")
+    logger.info("hidden")
+    logger.warning("shown")
+    captured = capsys.readouterr()
+    assert "hidden" not in captured.out
+    assert "shown" in captured.err
+
+
+def test_configure_logging_is_idempotent(capsys):
+    configure_logging("info")
+    logger = configure_logging("info")
+    assert len(logger.handlers) == 2
+    logger.info("once")
+    assert capsys.readouterr().out.count("once") == 1
+
+
+def test_configure_logging_rejects_unknown_level():
+    with pytest.raises(ValueError, match="unknown log level"):
+        configure_logging("verbose")
+
+
+def test_get_logger_namespacing():
+    assert get_logger().name == "repro"
+    assert get_logger("cli").name == "repro.cli"
+    assert isinstance(get_logger("cli"), logging.Logger)

@@ -33,6 +33,7 @@ def test_top_level_exports_resolve(name):
         "repro.metrics",
         "repro.parallel",
         "repro.resilience",
+        "repro.observability",
     ],
 )
 def test_subpackage_all_exports_resolve(module):

@@ -37,6 +37,29 @@ def test_roundtrip_parametric_gates():
     assert parsed == circuit
 
 
+def test_numpy_scalar_params_roundtrip():
+    """Regression: numpy scalar params must not emit ``np.float64(...)``.
+
+    Under numpy >= 2, ``repr(np.float64(0.5))`` is ``"np.float64(0.5)"``,
+    which the writer used to embed verbatim — producing OpenQASM no
+    parser (including ours) accepts.  Parameters flowing out of the
+    synthesis pipeline are numpy scalars, so this is the common case,
+    not a corner.
+    """
+    theta = np.float64(0.27) * np.pi
+    circuit = Circuit(2)
+    circuit.rx(theta, 0)
+    circuit.rz(np.float32(0.5), 1)
+    circuit.cp(np.float64(-1.25), 0, 1)
+    text = circuit_to_qasm(circuit)
+    assert "np.float" not in text
+    parsed = circuit_from_qasm(text)
+    # float64 params survive shortest-round-trip repr exactly.
+    assert parsed.operations[0].params[0] == float(theta)
+    assert parsed.operations[2].params[0] == -1.25
+    assert np.allclose(parsed.unitary(), circuit.unitary())
+
+
 def test_barrier_roundtrip():
     circuit = Circuit(2)
     circuit.h(0)

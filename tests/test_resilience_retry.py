@@ -12,6 +12,7 @@ from repro.partition.scan import scan_partition
 from repro.resilience import FaultInjector, FaultSpec, RetryPolicy
 from repro.resilience.retry import (
     FAILURE_EXCEPTION,
+    FAILURE_FALLBACK,
     FAILURE_VALIDATION,
     FailureRecord,
 )
@@ -176,12 +177,24 @@ def test_exhausted_retries_still_fall_back():
         assert index in nontrivial
         assert pools[index].size == 1
         assert pools[index].candidates[0].distance == 0.0
-    # Every failed attempt is logged: jobs x attempts.
+    # Every failed attempt is logged: jobs x attempts — plus one terminal
+    # fallback record per downgraded block.
     per_block = {}
     for record in stats.failure_log:
+        if record.kind == FAILURE_FALLBACK:
+            continue
         per_block.setdefault(record.block_index, []).append(record.attempt)
     for attempts in per_block.values():
         assert attempts == [0, 1, 2]
+    fallback_records = [
+        r for r in stats.failure_log if r.kind == FAILURE_FALLBACK
+    ]
+    assert sorted(r.block_index for r in fallback_records) == sorted(
+        stats.fallback_blocks
+    )
+    for record in fallback_records:
+        assert record.attempt == 3
+        assert "degraded to exact block" in record.message
 
 
 def test_escalated_seed_changes_the_synthesis_stream():
