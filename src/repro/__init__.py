@@ -19,6 +19,7 @@ from repro.exceptions import ReproError
 from repro.metrics import jsd, tvd
 from repro.noise import NoiseModel, fake_manila
 from repro.transpile import transpile
+from repro.verify import CertificationReport, certify_equivalence
 
 __version__ = "1.0.0"
 
@@ -35,6 +36,8 @@ __all__ = [
     "fake_manila",
     "tvd",
     "jsd",
+    "CertificationReport",
+    "certify_equivalence",
     "ReproError",
     "__version__",
 ]

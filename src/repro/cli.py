@@ -14,6 +14,13 @@ for the whole run (render with ``python -m repro trace-summary
 run.trace``), ``--metrics-json metrics.json`` dumps the run's metrics
 snapshot, and ``--log-level`` funnels all diagnostics through the
 ``repro`` logger (below-WARNING to stdout, WARNING+ to stderr).
+
+Certification: every approximation ships with an ``approx_XX.claims.json``
+manifest (per-block epsilon claims); ``--certify`` re-derives those
+claims independently before the run exits, and ``python -m repro
+verify-run original.qasm approx.qasm --claims approx.claims.json``
+certifies the artifacts later, with no access to the producing run
+(exit 0 = certified, 1 = violated, 2 = unusable inputs).
 """
 
 from __future__ import annotations
@@ -35,6 +42,15 @@ from repro.observability import (
     summarize_trace,
 )
 from repro.resilience.faults import parse_fault_spec
+from repro.verify import (
+    DEFAULT_BASIS_STIMULI,
+    DEFAULT_HAAR_STIMULI,
+    DEFAULT_MAX_EXACT_QUBITS,
+    certify_equivalence,
+    claims_for_choice,
+    claims_from_manifest,
+    claims_to_manifest,
+)
 
 
 def _positive_int(value: str) -> int:
@@ -157,6 +173,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum level of diagnostics (default info); records "
         "below warning go to stdout, warning and above to stderr",
     )
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="independently certify every selected approximation "
+        "against its epsilon claims before exiting (exit code 1 on a "
+        "violated claim)",
+    )
+    parser.add_argument(
+        "--certify-candidates",
+        action="store_true",
+        help="harden candidate health checks into independent "
+        "certification: rebuild every worker/cache/checkpoint "
+        "candidate's unitary through the certifier's own contraction "
+        "path (slower)",
+    )
     return parser
 
 
@@ -170,6 +201,139 @@ def build_trace_summary_parser() -> argparse.ArgumentParser:
         "trace", type=Path, help="trace file written by --trace-file"
     )
     return parser
+
+
+def build_verify_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro verify-run",
+        description="Independently certify that an approximate circuit "
+        "stays within its claimed Hilbert-Schmidt budget of the "
+        "original.  Exit 0: certified; 1: a claim is violated; 2: the "
+        "inputs could not be certified at all.",
+    )
+    parser.add_argument(
+        "original", type=Path, help="original OpenQASM 2.0 circuit"
+    )
+    parser.add_argument(
+        "approximate", type=Path, help="stitched approximate circuit"
+    )
+    parser.add_argument(
+        "--claims",
+        type=Path,
+        default=None,
+        help="claims manifest (approx_XX.claims.json) with per-block "
+        "epsilons; enables block-localized diagnosis",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="explicit whole-circuit HS-distance budget (defaults to "
+        "the manifest's epsilon sum; required without --claims)",
+    )
+    parser.add_argument(
+        "--max-exact-qubits",
+        type=_positive_int,
+        default=DEFAULT_MAX_EXACT_QUBITS,
+        help="widest circuit certified by exact unitary diff; wider "
+        f"ones use random-stimulus probes (default "
+        f"{DEFAULT_MAX_EXACT_QUBITS})",
+    )
+    parser.add_argument(
+        "--haar-stimuli",
+        type=_positive_int,
+        default=DEFAULT_HAAR_STIMULI,
+        help="Haar-random stimuli in the stimulus regime "
+        f"(default {DEFAULT_HAAR_STIMULI})",
+    )
+    parser.add_argument(
+        "--basis-stimuli",
+        type=_positive_int,
+        default=DEFAULT_BASIS_STIMULI,
+        help="computational-basis stimuli in the stimulus regime "
+        f"(default {DEFAULT_BASIS_STIMULI})",
+    )
+    parser.add_argument(
+        "--stimulus-seed",
+        type=int,
+        default=0,
+        help="seed of the stimulus draw (certification is "
+        "deterministic for a fixed seed; default 0)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write the full certification report to this file",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum level of diagnostics (default info)",
+    )
+    return parser
+
+
+def _verify_run_main(argv: list[str]) -> int:
+    args = build_verify_run_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    logger = get_logger("verify")
+    try:
+        original = circuit_from_qasm(args.original.read_text())
+        approximate = circuit_from_qasm(args.approximate.read_text())
+    except (OSError, ReproError) as exc:
+        logger.error(f"error reading circuits: {exc}")
+        return 2
+    claims = None
+    block_qubits = None
+    if args.claims is not None:
+        try:
+            manifest = json.loads(args.claims.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            logger.error(f"error reading {args.claims}: {exc}")
+            return 2
+        try:
+            block_qubits, claims = claims_from_manifest(manifest)
+        except ReproError as exc:
+            logger.error(f"error: {args.claims}: {exc}")
+            return 2
+    elif args.budget is None:
+        logger.error("error: nothing to certify against; pass --claims "
+                     "and/or --budget")
+        return 2
+    try:
+        report = certify_equivalence(
+            original,
+            approximate,
+            claims,
+            block_qubits=block_qubits,
+            budget=args.budget,
+            max_exact_qubits=args.max_exact_qubits,
+            haar_stimuli=args.haar_stimuli,
+            basis_stimuli=args.basis_stimuli,
+            rng=args.stimulus_seed,
+        )
+    except ReproError as exc:
+        logger.error(f"certification could not run: {exc}")
+        return 2
+    logger.info(report.summary())
+    for certificate in report.blocks:
+        if not certificate.ok:
+            logger.warning(
+                f"  block {certificate.index} "
+                f"(qubits {list(certificate.qubits)}): {certificate.reason}"
+            )
+    if args.json is not None:
+        try:
+            args.json.write_text(
+                json.dumps(report.to_dict(), indent=1) + "\n"
+            )
+        except OSError as exc:
+            logger.error(f"error: --json {args.json}: {exc}")
+            return 2
+        logger.info(f"  report written to {args.json}")
+    return 0 if report.ok else 1
 
 
 def _trace_summary_main(argv: list[str]) -> int:
@@ -187,6 +351,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace-summary":
         return _trace_summary_main(argv[1:])
+    if argv and argv[0] == "verify-run":
+        return _verify_run_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure_logging(args.log_level)
     logger = get_logger("cli")
@@ -234,6 +400,8 @@ def main(argv: list[str] | None = None) -> int:
         ),
         retry_attempts=args.retry_attempts,
         retry_budget_multiplier=args.retry_budget_multiplier,
+        certify=args.certify,
+        certify_candidates=args.certify_candidates,
     )
     try:
         result = run_quest(
@@ -289,10 +457,31 @@ def main(argv: list[str] | None = None) -> int:
     ):
         path = args.out_dir / f"approx_{index:02d}.qasm"
         path.write_text(circuit_to_qasm(approx))
+        claims = claims_for_choice(
+            result.pools, result.selection.choices[index]
+        )
+        claims_path = args.out_dir / f"approx_{index:02d}.claims.json"
+        claims_path.write_text(
+            json.dumps(
+                claims_to_manifest(claims, block_qubits=args.block_qubits),
+                indent=1,
+            )
+            + "\n"
+        )
         logger.info(
             f"  {path}: {approx.cnot_count()} CNOTs "
             f"(bound {bound:.4f}, baseline {result.original_cnot_count})"
         )
+    if result.certifications:
+        for index, report in enumerate(result.certifications):
+            line = f"  certify approx_{index:02d}: {report.summary()}"
+            if report.ok:
+                logger.info(line)
+            else:
+                logger.warning(line)
+        if not result.certified:
+            logger.error("certification VIOLATED; see reports above")
+            return 1
     return 0
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.circuits.circuit import Circuit
 from repro.linalg.unitary import hs_distance
+from repro.metrics.tolerances import BOUND_SLACK
 from repro.partition.blocks import CircuitBlock, stitch_blocks
 
 
@@ -34,7 +35,7 @@ class BoundCheck:
     @property
     def holds(self) -> bool:
         """Whether the bound is respected (with float slack)."""
-        return self.actual_distance <= self.upper_bound + 1e-7
+        return self.actual_distance <= self.upper_bound + BOUND_SLACK
 
     @property
     def tightness(self) -> float:

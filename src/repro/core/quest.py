@@ -45,6 +45,8 @@ from repro.partition.scan import scan_partition
 from repro.resilience.journal import RunJournal, quest_fingerprint
 from repro.resilience.retry import FailureRecord, RetryPolicy
 from repro.transpile.basis import lower_to_basis
+from repro.verify.certifier import CertificationReport, certify_result
+from repro.verify.independent import DEFAULT_MAX_EXACT_QUBITS
 
 #: Hard per-block timeout is this multiple of the cooperative LEAP budget
 #: (plus a grace constant) — generous, because LEAP only checks its
@@ -99,6 +101,22 @@ class QuestConfig:
     #: Health-check candidates from workers/cache/checkpoints (finite,
     #: unitary, distances recompute) and quarantine failures.
     validate_candidates: bool = True
+    #: Independently certify every selected approximation after
+    #: stitching (see :mod:`repro.verify`): per-block epsilon claims are
+    #: re-derived from the artifacts through the certifier's own
+    #: contraction path, and the whole-circuit distance is checked
+    #: against the claimed total.  Reports land in
+    #: ``QuestResult.certifications``; a violation never raises.
+    certify: bool = False
+    #: Widest circuit the post-run certifier diffs exactly; wider ones
+    #: fall to the random-stimulus regime.
+    certify_max_exact_qubits: int = DEFAULT_MAX_EXACT_QUBITS
+    #: Harden candidate validation: additionally rebuild every
+    #: worker/cache/checkpoint candidate's unitary through the
+    #: certifier's independent contraction path and require agreement
+    #: with the recorded artifacts.  Catches corruption the plain
+    #: health checks cannot (a tampered-but-still-unitary matrix).
+    certify_candidates: bool = False
 
 
 @dataclass
@@ -118,6 +136,10 @@ class QuestTimings:
     #: separately from the three pipeline phases and excluded from
     #: ``total_seconds``.
     noisy_eval_seconds: float = 0.0
+    #: Wall time of the optional post-run certification stage
+    #: (``QuestConfig.certify``); a guardrail, not a pipeline phase, so
+    #: it is excluded from ``total_seconds`` like noisy evaluation.
+    certify_seconds: float = 0.0
 
     @property
     def selection_seconds(self) -> float:
@@ -179,6 +201,10 @@ class QuestResult:
     #: histograms; see :mod:`repro.observability.metrics`), dumped by the
     #: CLI via ``--metrics-json``.
     metrics: dict = field(default_factory=dict)
+    #: Independent certification report per selected approximation
+    #: (same order as ``circuits``); populated only when
+    #: ``QuestConfig.certify`` is set.
+    certifications: list[CertificationReport] = field(default_factory=list)
 
     @property
     def original_cnot_count(self) -> int:
@@ -217,6 +243,17 @@ class QuestResult:
         """Choice vectors scored during selection (scalar + batched)."""
         return self.selection.objective_evaluations
 
+    @property
+    def certified(self) -> bool | None:
+        """Whether every selected approximation certified clean.
+
+        ``None`` when certification did not run
+        (``QuestConfig.certify`` off).
+        """
+        if not self.certifications:
+            return None
+        return all(report.ok for report in self.certifications)
+
     def summary(self) -> str:
         """One-line human-readable result summary."""
         text = (
@@ -235,6 +272,13 @@ class QuestResult:
             )
         if self.checkpoint_hits:
             text += f"; {self.checkpoint_hits} block(s) resumed from checkpoint"
+        if self.certifications:
+            passed = sum(1 for report in self.certifications if report.ok)
+            verdict = "CERTIFIED" if self.certified else "VIOLATED"
+            text += (
+                f"; certification {verdict} "
+                f"({passed}/{len(self.certifications)} clean)"
+            )
         return text
 
     def noisy_ensemble(
@@ -411,6 +455,7 @@ def _run_pipeline(
             journal=journal,
             fault_injector=fault_injector,
             validate=config.validate_candidates,
+            independent_validation=config.certify_candidates,
         )
         result.pools, synthesis_stats = executor.run(
             result.blocks, config, block_seeds
@@ -454,4 +499,28 @@ def _run_pipeline(
             result.circuits.append(
                 stitch_blocks(chosen_blocks, baseline.num_qubits)
             )
+
+    if config.certify:
+        start = time.perf_counter()
+        with tracer.span("quest.certify", circuits=len(result.circuits)):
+            result.certifications = certify_result(
+                result,
+                block_qubits=config.max_block_qubits,
+                max_exact_qubits=config.certify_max_exact_qubits,
+                seed=config.seed,
+            )
+            for index, report in enumerate(result.certifications):
+                tracer.event(
+                    "certify.report",
+                    circuit=index,
+                    ok=report.ok,
+                    regime=report.regime,
+                    claimed_total=report.claimed_total,
+                    first_failed_block=report.first_failed_block,
+                )
+                if metrics.is_enabled:
+                    metrics.inc(
+                        "certify.passed" if report.ok else "certify.failed"
+                    )
+        result.timings.certify_seconds = time.perf_counter() - start
     return result

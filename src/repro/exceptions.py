@@ -58,6 +58,17 @@ class ValidationError(ReproError):
     """
 
 
+class CertificationError(ReproError):
+    """Raised when equivalence certification cannot even be *attempted*.
+
+    Structural misuse only — mismatched circuit widths, a block manifest
+    that does not describe the stitched circuit, a malformed claims
+    file.  A certification that runs and finds the claim violated is not
+    an error: it is reported through
+    :class:`repro.verify.CertificationReport` with ``ok=False``.
+    """
+
+
 class CheckpointError(ReproError):
     """Raised when a run journal cannot be created or resumed.
 

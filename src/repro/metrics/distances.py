@@ -13,6 +13,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ReproError
+from repro.metrics.tolerances import (
+    DISTRIBUTION_NORM_TOL,
+    NEGATIVE_PROBABILITY_TOL,
+)
 
 
 def _validate_pair(p: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -20,10 +24,15 @@ def _validate_pair(p: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray
     q = np.asarray(q, dtype=float)
     if p.shape != q.shape or p.ndim != 1:
         raise ReproError(f"distribution shapes differ: {p.shape} vs {q.shape}")
-    if np.any(p < -1e-12) or np.any(q < -1e-12):
+    if np.any(p < -NEGATIVE_PROBABILITY_TOL) or np.any(
+        q < -NEGATIVE_PROBABILITY_TOL
+    ):
         raise ReproError("negative probabilities")
     sum_p, sum_q = p.sum(), q.sum()
-    if not (np.isclose(sum_p, 1.0, atol=1e-6) and np.isclose(sum_q, 1.0, atol=1e-6)):
+    if not (
+        np.isclose(sum_p, 1.0, atol=DISTRIBUTION_NORM_TOL)
+        and np.isclose(sum_q, 1.0, atol=DISTRIBUTION_NORM_TOL)
+    ):
         raise ReproError(
             f"distributions must be normalized (sums {sum_p:.6f}, {sum_q:.6f})"
         )

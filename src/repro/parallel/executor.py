@@ -306,6 +306,12 @@ class BlockSynthesisExecutor:
     validate:
         Health-check candidate sets from workers, the cache, and the
         journal (on by default; see :mod:`repro.resilience.validation`).
+    independent_validation:
+        Harden those health checks into independent certification:
+        every candidate's unitary is rebuilt through the certifier's
+        own contraction path and must agree with the recorded
+        artifacts.  Slower, so off by default; ignored when
+        ``validate`` is off.
     """
 
     def __init__(
@@ -318,6 +324,7 @@ class BlockSynthesisExecutor:
         journal=None,
         fault_injector=None,
         validate: bool = True,
+        independent_validation: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -329,6 +336,7 @@ class BlockSynthesisExecutor:
         self.journal = journal
         self.fault_injector = fault_injector
         self.validate = validate
+        self.independent_validation = independent_validation
 
     def run(
         self,
@@ -380,7 +388,9 @@ class BlockSynthesisExecutor:
                 pool = self.journal.load_pool(index, key)
                 if pool is not None and self.validate:
                     try:
-                        validate_pool(pool)
+                        validate_pool(
+                            pool, independent=self.independent_validation
+                        )
                     except ValidationError as exc:
                         _note_failure(
                             log, index, 0, FAILURE_CHECKPOINT, str(exc)
@@ -406,7 +416,11 @@ class BlockSynthesisExecutor:
                 cached = self.cache.get(key)
                 if cached is not None and self.validate:
                     try:
-                        validate_solutions(block.unitary(), cached)
+                        validate_solutions(
+                            block.unitary(),
+                            cached,
+                            independent=self.independent_validation,
+                        )
                     except ValidationError as exc:
                         _note_failure(
                             log,
@@ -612,7 +626,11 @@ class BlockSynthesisExecutor:
                             index, attempt, solutions
                         )
                     if self.validate:
-                        validate_solutions(block.unitary(), solutions)
+                        validate_solutions(
+                            block.unitary(),
+                            solutions,
+                            independent=self.independent_validation,
+                        )
             except BlockTimeoutError as exc:
                 _note_failure(log, index, attempt, FAILURE_TIMEOUT, str(exc))
                 failures[key] = exc
@@ -694,7 +712,9 @@ class BlockSynthesisExecutor:
                         solutions, elapsed = payload
                     if self.validate:
                         validate_solutions(
-                            round_jobs[key][1].unitary(), solutions
+                            round_jobs[key][1].unitary(),
+                            solutions,
+                            independent=self.independent_validation,
                         )
                 except FutureTimeoutError as exc:
                     future.cancel()

@@ -18,6 +18,16 @@ candidate:
 * **distance consistency** — the HS distance recomputed from the
   circuit agrees with the recorded one to ``distance_tol``.
 
+With ``independent=True`` the checks harden into *certification*: each
+candidate's unitary is additionally rebuilt column-by-column through the
+certifier's own contraction path (:mod:`repro.verify.independent`, which
+shares no accumulation code with the recorded artifacts) and must agree
+elementwise with the stored matrix, and the HS distance re-derived along
+that independent path must agree with the recorded one.  The plain
+checks accept any matrix that is *a* unitary at the recorded distance;
+the independent ones accept only the unitary the candidate's circuit
+actually implements.
+
 Failures raise :class:`~repro.exceptions.ValidationError`; the executor
 quarantines the offending set (records a failure, retries or falls
 back) instead of admitting it.
@@ -29,16 +39,21 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.linalg.unitary import hs_distance
+from repro.metrics.tolerances import (
+    DISTANCE_CONSISTENCY_TOL,
+    INDEPENDENT_AGREEMENT_TOL,
+    POOL_UNITARY_MATCH_TOL,
+    UNITARITY_TOL,
+)
+from repro.verify.independent import (
+    independent_hs_distance,
+    independent_unitary,
+)
 
-#: Max elementwise deviation of ``U^dag U`` from the identity.  Circuits
-#: are products of exactly-unitary gate matrices, so honest candidates
-#: sit at ~1e-15; 1e-6 leaves orders of magnitude of slack while still
-#: catching any real corruption.
-DEFAULT_UNITARITY_TOL = 1e-6
-#: Max |recomputed - recorded| HS distance.  Recorded distances are
-#: produced from the same parameters the circuit is built from, so
-#: honest candidates agree to float precision.
-DEFAULT_DISTANCE_TOL = 1e-6
+#: Historical aliases; the canonical values live in
+#: :mod:`repro.metrics.tolerances` so every layer shares one definition.
+DEFAULT_UNITARITY_TOL = UNITARITY_TOL
+DEFAULT_DISTANCE_TOL = DISTANCE_CONSISTENCY_TOL
 
 
 def _unitarity_defect(unitary: np.ndarray) -> float:
@@ -58,8 +73,17 @@ def validate_candidate_unitary(
     label: str,
     unitarity_tol: float = DEFAULT_UNITARITY_TOL,
     distance_tol: float = DEFAULT_DISTANCE_TOL,
+    circuit=None,
+    independent: bool = False,
 ) -> None:
-    """Validate one candidate unitary against its target block unitary."""
+    """Validate one candidate unitary against its target block unitary.
+
+    With ``independent=True`` (and the candidate's ``circuit``), the
+    unitary is also rebuilt through the certifier's independent
+    contraction path and both the matrix and its distance must agree
+    with the recorded artifacts — the check that catches a matrix which
+    is still perfectly unitary but no longer the circuit's.
+    """
     if not np.isfinite(recorded_distance):
         raise ValidationError(f"{label}: recorded distance is not finite")
     if not np.all(np.isfinite(unitary)):
@@ -77,6 +101,22 @@ def validate_candidate_unitary(
             f"with recorded {recorded_distance:.6e} "
             f"(tolerance {distance_tol:.1e})"
         )
+    if independent and circuit is not None:
+        rebuilt = independent_unitary(circuit)
+        disagreement = float(np.max(np.abs(rebuilt - unitary)))
+        if disagreement > INDEPENDENT_AGREEMENT_TOL:
+            raise ValidationError(
+                f"{label}: recorded unitary disagrees with the "
+                f"independently rebuilt one by {disagreement:.3e} "
+                f"(tolerance {INDEPENDENT_AGREEMENT_TOL:.1e})"
+            )
+        rederived = independent_hs_distance(rebuilt, target)
+        if abs(rederived - recorded_distance) > distance_tol:
+            raise ValidationError(
+                f"{label}: independently re-derived HS distance "
+                f"{rederived:.6e} disagrees with recorded "
+                f"{recorded_distance:.6e} (tolerance {distance_tol:.1e})"
+            )
 
 
 def validate_solutions(
@@ -85,6 +125,7 @@ def validate_solutions(
     *,
     unitarity_tol: float = DEFAULT_UNITARITY_TOL,
     distance_tol: float = DEFAULT_DISTANCE_TOL,
+    independent: bool = False,
 ) -> None:
     """Validate a worker's / the cache's raw LEAP solution list.
 
@@ -104,6 +145,8 @@ def validate_solutions(
             label=label,
             unitarity_tol=unitarity_tol,
             distance_tol=distance_tol,
+            circuit=solution.circuit,
+            independent=independent,
         )
 
 
@@ -112,6 +155,7 @@ def validate_pool(
     *,
     unitarity_tol: float = DEFAULT_UNITARITY_TOL,
     distance_tol: float = DEFAULT_DISTANCE_TOL,
+    independent: bool = False,
 ) -> None:
     """Validate an assembled :class:`BlockPool` (e.g. from a checkpoint).
 
@@ -125,7 +169,7 @@ def validate_pool(
         raise ValidationError("pool original unitary contains non-finite entries")
     if _unitarity_defect(target) > unitarity_tol:
         raise ValidationError("pool original unitary is not unitary")
-    if not np.allclose(target, pool.block.unitary(), atol=1e-9):
+    if not np.allclose(target, pool.block.unitary(), atol=POOL_UNITARY_MATCH_TOL):
         raise ValidationError(
             "pool original unitary disagrees with its block circuit"
         )
@@ -138,4 +182,6 @@ def validate_pool(
             label=label,
             unitarity_tol=unitarity_tol,
             distance_tol=distance_tol,
+            circuit=candidate.circuit,
+            independent=independent,
         )

@@ -12,6 +12,7 @@ import numpy as np
 from repro.circuits.circuit import Circuit
 from repro.exceptions import SimulationError
 from repro.linalg.embed import apply_gate_to_state
+from repro.metrics.tolerances import DISTRIBUTION_NORM_TOL
 
 
 def zero_state(num_qubits: int) -> np.ndarray:
@@ -51,7 +52,7 @@ def probabilities(state: np.ndarray) -> np.ndarray:
     """Born-rule outcome probabilities of a statevector."""
     probs = np.abs(state) ** 2
     total = probs.sum()
-    if not np.isclose(total, 1.0, atol=1e-6):
+    if not np.isclose(total, 1.0, atol=DISTRIBUTION_NORM_TOL):
         raise SimulationError(f"state is not normalized (sum={total})")
     return probs / total
 
