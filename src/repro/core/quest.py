@@ -117,6 +117,14 @@ class QuestConfig:
     #: with the recorded artifacts.  Catches corruption the plain
     #: health checks cannot (a tampered-but-still-unitary matrix).
     certify_candidates: bool = False
+    #: Engine for :meth:`QuestResult.noisy_ensemble` (one of
+    #: :data:`repro.noise.NOISE_ENGINES`).  ``auto`` keeps the historical
+    #: density/trajectories dispatch; ``ptm`` evaluates the whole
+    #: ensemble as one batched superoperator contraction.
+    noise_engine: str = "auto"
+    #: Array library for the ``ptm`` engine (``numpy``/``cupy``/``torch``;
+    #: None defers to ``$REPRO_ARRAY_BACKEND``, default numpy).
+    array_backend: str | None = None
 
 
 @dataclass
@@ -205,6 +213,10 @@ class QuestResult:
     #: (same order as ``circuits``); populated only when
     #: ``QuestConfig.certify`` is set.
     certifications: list[CertificationReport] = field(default_factory=list)
+    #: Default engine/backend for :meth:`noisy_ensemble`, copied from the
+    #: config that produced this result.
+    noise_engine: str = "auto"
+    array_backend: str | None = None
 
     @property
     def original_cnot_count(self) -> int:
@@ -287,20 +299,29 @@ class QuestResult:
         trajectories: int = 1000,
         rng: np.random.Generator | int | None = None,
         batched: bool = True,
+        engine: str | None = None,
+        array_backend: str | None = None,
     ) -> np.ndarray:
         """Averaged noisy output distribution of the selected ensemble.
 
-        Evaluates every selected approximation under ``noise`` (exact
-        density matrix below the qubit cap, batched Pauli trajectories
-        above it) and returns the pointwise mean — the quantity the paper
-        compares against the ideal distribution in Sec. 5.  Wall time is
+        Evaluates every selected approximation under ``noise`` and
+        returns the pointwise mean — the quantity the paper compares
+        against the ideal distribution in Sec. 5.  ``engine`` (default:
+        the ``noise_engine`` the result was configured with) picks the
+        evaluator: ``ptm`` contracts the whole ensemble as one batched
+        superoperator pass on ``array_backend``; the other engines
+        evaluate circuit by circuit via
+        :func:`repro.noise.noisy_distribution`.  Wall time is
         accumulated into ``timings.noisy_eval_seconds``.
         """
         from repro.metrics.distances import average_distributions
-        from repro.noise import noisy_distribution
+        from repro.noise import noisy_distribution, run_ptm_ensemble
 
         if not self.circuits:
             raise SelectionError("no selected circuits to evaluate")
+        engine = engine if engine is not None else self.noise_engine
+        if array_backend is None:
+            array_backend = self.array_backend
         rng = np.random.default_rng(rng)
         tracer = get_tracer()
         metrics = get_metrics()
@@ -309,17 +330,30 @@ class QuestResult:
             "quest.noisy_eval",
             circuits=len(self.circuits),
             trajectories=trajectories,
+            engine=engine,
         ):
-            distributions = [
-                noisy_distribution(
-                    circuit,
-                    noise,
-                    trajectories=trajectories,
-                    rng=rng,
-                    batched=batched,
+            if engine == "ptm":
+                # One batched contraction over the whole ensemble: the
+                # selected approximations share block structure, so they
+                # collapse into a handful of PTM batch groups.
+                distributions = list(
+                    run_ptm_ensemble(
+                        self.circuits, noise, backend=array_backend
+                    )
                 )
-                for circuit in self.circuits
-            ]
+            else:
+                distributions = [
+                    noisy_distribution(
+                        circuit,
+                        noise,
+                        trajectories=trajectories,
+                        rng=rng,
+                        batched=batched,
+                        engine=engine,
+                        array_backend=array_backend,
+                    )
+                    for circuit in self.circuits
+                ]
             averaged = average_distributions(distributions)
         self.timings.noisy_eval_seconds += time.perf_counter() - start
         if metrics.is_enabled:
@@ -408,12 +442,24 @@ def _run_pipeline(
     metrics,
 ) -> QuestResult:
     """The pipeline body; runs under the ambient tracer/metrics pair."""
+    from repro.noise import NOISE_ENGINES
+
+    if config.noise_engine not in NOISE_ENGINES:
+        raise SelectionError(
+            f"unknown noise engine {config.noise_engine!r}; choose from "
+            f"{', '.join(NOISE_ENGINES)}"
+        )
     rng = np.random.default_rng(config.seed)
     baseline = lower_to_basis(circuit.without_measurements())
     if baseline.cnot_count() == 0:
         raise SelectionError("circuit has no CNOTs; nothing for QUEST to reduce")
 
-    result = QuestResult(original=circuit, baseline=baseline)
+    result = QuestResult(
+        original=circuit,
+        baseline=baseline,
+        noise_engine=config.noise_engine,
+        array_backend=config.array_backend,
+    )
 
     start = time.perf_counter()
     with tracer.span("quest.partition"):

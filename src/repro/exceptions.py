@@ -28,8 +28,50 @@ class SimulationError(ReproError):
     """Raised when a simulator is asked for something it cannot do."""
 
 
+class SimulationCapacityError(SimulationError):
+    """Raised when a circuit exceeds a noise engine's practical ceiling.
+
+    Carries the structured context a caller needs to pick a different
+    engine instead of parsing a message (or, worse, watching the process
+    swap itself to death on a ``4^n`` allocation): the offending engine,
+    the requested qubit count, the engine's ceiling, and the engine the
+    library suggests for that size.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        num_qubits: int,
+        limit: int,
+        suggested_engine: str | None = None,
+        detail: str = "",
+    ) -> None:
+        self.engine = engine
+        self.num_qubits = num_qubits
+        self.limit = limit
+        self.suggested_engine = suggested_engine
+        message = (
+            f"the {engine!r} noise engine cannot practically simulate "
+            f"{num_qubits} qubits (ceiling: {limit})"
+        )
+        if detail:
+            message += f": {detail}"
+        if suggested_engine is not None:
+            message += f"; use the {suggested_engine!r} engine instead"
+        super().__init__(message)
+
+
 class NoiseModelError(ReproError):
     """Raised for inconsistent noise-model definitions."""
+
+
+class ArrayBackendError(ReproError):
+    """Raised when a requested array backend cannot be provided.
+
+    Either the name is unknown or the backing library (cupy, torch) is
+    not installed in this environment.  The message always names the
+    backends that *are* available so callers can fall back cleanly.
+    """
 
 
 class TranspilerError(ReproError):

@@ -1,0 +1,234 @@
+"""Thin array-API shim: one kernel code path, pluggable array libraries.
+
+The PTM noise engine (:mod:`repro.noise.ptm`) expresses every hot kernel
+— compile, embed, batched contraction, readout — through the handful of
+operations below instead of calling ``numpy`` directly.  An
+:class:`ArrayBackend` binds those operations to a concrete array
+library:
+
+* ``numpy`` — the default; always available, used by the test suite.
+* ``cupy`` — drop-in GPU arrays; used when installed and selected.
+* ``torch`` — PyTorch tensors, placed on CUDA when available.
+
+Selection is by name, resolved in precedence order: an explicit argument
+(``QuestConfig.array_backend`` / ``--array-backend``), the
+``REPRO_ARRAY_BACKEND`` environment variable, then ``numpy``.  A
+requested backend whose library is not installed raises
+:class:`~repro.exceptions.ArrayBackendError` naming the backends that
+*are* available — callers surface that instead of an ``ImportError``
+five layers deep (the CLI exits with code 2).
+
+The shim is deliberately small: subscript-explicit ``einsum`` carries
+every contraction, so adding a backend means implementing seven methods,
+not porting kernels.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ArrayBackendError
+
+#: Environment variable consulted when no backend is named explicitly.
+ARRAY_BACKEND_ENV = "REPRO_ARRAY_BACKEND"
+
+#: Names accepted by :func:`get_backend`, in documentation order.
+BACKEND_NAMES: tuple[str, ...] = ("numpy", "cupy", "torch")
+
+
+class ArrayBackend:
+    """Interface the PTM kernels program against.
+
+    Implementations wrap one array library.  Arrays returned by one
+    method are accepted by every other method of the same backend;
+    :meth:`to_numpy` is the single exit point back to host numpy.
+    """
+
+    name: str = "abstract"
+
+    def asarray(self, data: Any, dtype: str | None = None) -> Any:
+        """Device array from array-like ``data`` (dtype: "float64"/"complex128")."""
+        raise NotImplementedError
+
+    def zeros(self, shape: tuple[int, ...], dtype: str = "float64") -> Any:
+        """Device array of zeros."""
+        raise NotImplementedError
+
+    def stack(self, arrays: list) -> Any:
+        """Stack same-shape device arrays along a new leading axis."""
+        raise NotImplementedError
+
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
+        """Subscript-explicit Einstein summation over device arrays."""
+        raise NotImplementedError
+
+    def take(self, array: Any, indices: tuple[int, ...], axis: int) -> Any:
+        """Select ``indices`` along ``axis`` (numpy ``take`` semantics)."""
+        raise NotImplementedError
+
+    def reshape(self, array: Any, shape: tuple[int, ...]) -> Any:
+        """Reshape without copying where the library allows it."""
+        raise NotImplementedError
+
+    def to_numpy(self, array: Any) -> np.ndarray:
+        """Copy a device array back to a host ``np.ndarray``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ArrayBackend {self.name}>"
+
+
+class _NumpyLikeBackend(ArrayBackend):
+    """Backend over any module implementing the numpy API (numpy, cupy)."""
+
+    def __init__(self, name: str, module) -> None:
+        self.name = name
+        self._xp = module
+
+    def asarray(self, data, dtype=None):
+        return self._xp.asarray(data, dtype=dtype)
+
+    def zeros(self, shape, dtype="float64"):
+        return self._xp.zeros(shape, dtype=dtype)
+
+    def stack(self, arrays):
+        return self._xp.stack(arrays)
+
+    def einsum(self, subscripts, *operands):
+        return self._xp.einsum(subscripts, *operands)
+
+    def take(self, array, indices, axis):
+        return self._xp.take(array, self._xp.asarray(list(indices)), axis=axis)
+
+    def reshape(self, array, shape):
+        return array.reshape(shape)
+
+    def to_numpy(self, array):
+        if self._xp is np:
+            return np.asarray(array)
+        # cupy: explicit device-to-host copy.
+        return self._xp.asnumpy(array)
+
+
+class _TorchBackend(ArrayBackend):
+    """Backend over PyTorch tensors; uses CUDA when available."""
+
+    name = "torch"
+
+    def __init__(self, torch) -> None:
+        self._torch = torch
+        self._device = "cuda" if torch.cuda.is_available() else "cpu"
+        self._dtypes = {
+            None: None,
+            "float64": torch.float64,
+            "complex128": torch.complex128,
+        }
+
+    def asarray(self, data, dtype=None):
+        torch = self._torch
+        if torch.is_tensor(data):
+            tensor = data.to(self._device)
+            if dtype is not None:
+                tensor = tensor.to(self._dtypes[dtype])
+            return tensor
+        return torch.as_tensor(
+            np.asarray(data), dtype=self._dtypes[dtype], device=self._device
+        )
+
+    def zeros(self, shape, dtype="float64"):
+        return self._torch.zeros(
+            shape, dtype=self._dtypes[dtype], device=self._device
+        )
+
+    def stack(self, arrays):
+        return self._torch.stack(list(arrays))
+
+    def einsum(self, subscripts, *operands):
+        return self._torch.einsum(subscripts, *operands)
+
+    def take(self, array, indices, axis):
+        index = self._torch.as_tensor(list(indices), device=self._device)
+        return self._torch.index_select(array, axis, index)
+
+    def reshape(self, array, shape):
+        return array.reshape(shape)
+
+    def to_numpy(self, array):
+        return array.detach().cpu().numpy()
+
+
+#: Resolved backend instances, one per successfully imported library.
+_RESOLVED: dict[str, ArrayBackend] = {}
+
+
+def _resolve(name: str) -> ArrayBackend:
+    if name == "numpy":
+        return _NumpyLikeBackend("numpy", np)
+    if name == "cupy":
+        try:
+            import cupy  # noqa: PLC0415 - optional dependency
+        except ImportError as exc:
+            raise ArrayBackendError(
+                f"array backend 'cupy' requested but cupy is not "
+                f"installed ({exc}); available backends: "
+                f"{', '.join(available_backends())}"
+            ) from exc
+        return _NumpyLikeBackend("cupy", cupy)
+    if name == "torch":
+        try:
+            import torch  # noqa: PLC0415 - optional dependency
+        except ImportError as exc:
+            raise ArrayBackendError(
+                f"array backend 'torch' requested but torch is not "
+                f"installed ({exc}); available backends: "
+                f"{', '.join(available_backends())}"
+            ) from exc
+        return _TorchBackend(torch)
+    raise ArrayBackendError(
+        f"unknown array backend {name!r}; choose from "
+        f"{', '.join(BACKEND_NAMES)}"
+    )
+
+
+def get_backend(name: str | ArrayBackend | None = None) -> ArrayBackend:
+    """Resolve an array backend by name.
+
+    ``None`` falls back to ``$REPRO_ARRAY_BACKEND``, then ``numpy``.  An
+    already-constructed :class:`ArrayBackend` passes through untouched,
+    so call sites can accept either form.  Raises
+    :class:`~repro.exceptions.ArrayBackendError` for unknown names and
+    for backends whose library is missing.
+    """
+    if isinstance(name, ArrayBackend):
+        return name
+    requested = name or os.environ.get(ARRAY_BACKEND_ENV) or "numpy"
+    requested = requested.strip().lower()
+    backend = _RESOLVED.get(requested)
+    if backend is None:
+        backend = _resolve(requested)
+        _RESOLVED[requested] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends whose libraries import in this environment."""
+    names = ["numpy"]
+    for optional in ("cupy", "torch"):
+        try:
+            __import__(optional)
+        except ImportError:
+            continue
+        names.append(optional)
+    return tuple(names)
+
+
+__all__ = [
+    "ArrayBackend",
+    "get_backend",
+    "available_backends",
+    "BACKEND_NAMES",
+    "ARRAY_BACKEND_ENV",
+]

@@ -59,6 +59,25 @@ NEGATIVE_PROBABILITY_TOL = 1e-12
 #: distances): the bound is exact mathematics, the slack is rounding.
 BOUND_SLACK = 1e-7
 
+#: Max deviation of a compiled Pauli-transfer matrix's first row from
+#: ``e_0`` (trace preservation).  Honest PTMs are built from exact
+#: Pauli traces and sit at ~1e-15; any real violation means a corrupted
+#: gate matrix or channel term reached the compiler.
+PTM_TRACE_PRESERVATION_TOL = 1e-9
+
+#: Most negative a compiled PTM's Choi-matrix eigenvalue may go (and
+#: max Hermiticity defect of the Choi matrix) before the channel is
+#: rejected as not completely positive.  Pure eigensolver rounding
+#: slack: physical channels have exactly nonnegative Choi spectra.
+PTM_CP_TOL = 1e-9
+
+#: Max pointwise disagreement between the PTM engine's distribution and
+#: the density-matrix reference for the same circuit and noise model.
+#: Both engines are exact, so the gap is pure contraction-order
+#: rounding; the agreement tests and the PTM throughput benchmark pin
+#: it here.
+PTM_DENSITY_AGREEMENT_ATOL = 1e-10
+
 #: Failure probability budget of the random-stimulus certification
 #: regime: the stimulus-derived distance bound is a lower confidence
 #: bound on the true HS distance that holds with probability at least
@@ -74,5 +93,8 @@ __all__ = [
     "DISTRIBUTION_NORM_TOL",
     "NEGATIVE_PROBABILITY_TOL",
     "BOUND_SLACK",
+    "PTM_TRACE_PRESERVATION_TOL",
+    "PTM_CP_TOL",
+    "PTM_DENSITY_AGREEMENT_ATOL",
     "STIMULUS_CONFIDENCE_DELTA",
 ]

@@ -1,5 +1,17 @@
-"""Noise substrate: Pauli models, fake backends, noisy simulators."""
+"""Noise substrate: Pauli models, fake backends, noisy simulators.
 
+Three noisy-evaluation engines share one channel structure:
+
+* ``density`` — exact density matrix, practical to ~9 qubits;
+* ``ptm`` — exact superoperator (Pauli-transfer-matrix) contraction,
+  batched over the ensemble axis and routed through the
+  :mod:`repro.linalg.array_api` backend shim (numpy/cupy/torch),
+  practical to ~12 qubits and an order of magnitude faster than both
+  alternatives at evaluation scale;
+* ``trajectories`` — Monte-Carlo Pauli trajectories, for anything wider.
+"""
+
+from repro.exceptions import SimulationError
 from repro.noise.backends import (
     Backend,
     all_to_all_coupling,
@@ -17,18 +29,55 @@ from repro.noise.model import (
     pauli_matrix,
     readout_confusion,
 )
+from repro.noise.ptm import (
+    MAX_PTM_QUBITS,
+    PtmCache,
+    run_ptm,
+    run_ptm_ensemble,
+)
 from repro.noise.trajectories import run_trajectories
 
+#: Engine names accepted by :func:`noisy_distribution` and
+#: ``QuestConfig.noise_engine``.  ``auto`` preserves the historical
+#: dispatch (density below its cap, trajectories above), so existing
+#: results stay bit-identical unless an engine is chosen explicitly.
+NOISE_ENGINES: tuple[str, ...] = ("auto", "ptm", "density", "trajectories")
 
-def noisy_distribution(circuit, noise, trajectories=1000, rng=None, batched=True):
-    """Noisy output distribution via the best available engine.
 
-    Uses the exact density-matrix simulator up to its qubit cap and falls
-    back to Monte-Carlo Pauli trajectories beyond it (batched by default;
-    ``batched=False`` selects the scalar reference engine).
+def noisy_distribution(
+    circuit,
+    noise,
+    trajectories=1000,
+    rng=None,
+    batched=True,
+    engine="auto",
+    array_backend=None,
+):
+    """Noisy output distribution via the selected engine.
+
+    ``engine`` is one of :data:`NOISE_ENGINES`.  ``auto`` uses the exact
+    density-matrix simulator up to its qubit cap and falls back to
+    Monte-Carlo Pauli trajectories beyond it (batched by default;
+    ``batched=False`` selects the scalar reference engine).  ``ptm``
+    runs the exact superoperator engine on the ``array_backend`` array
+    library (default numpy / ``$REPRO_ARRAY_BACKEND``); ``trajectories``
+    and ``density`` force those engines regardless of size.
     """
-    if circuit.num_qubits <= MAX_DENSITY_QUBITS:
+    if engine not in NOISE_ENGINES:
+        raise SimulationError(
+            f"unknown noise engine {engine!r}; choose from "
+            f"{', '.join(NOISE_ENGINES)}"
+        )
+    if engine == "auto":
+        engine = (
+            "density"
+            if circuit.num_qubits <= MAX_DENSITY_QUBITS
+            else "trajectories"
+        )
+    if engine == "density":
         return run_density(circuit, noise)
+    if engine == "ptm":
+        return run_ptm(circuit, noise, backend=array_backend)
     return run_trajectories(
         circuit, noise, trajectories=trajectories, rng=rng, batched=batched
     )
@@ -43,8 +92,13 @@ __all__ = [
     "TWO_QUBIT_PAULIS",
     "run_density",
     "run_trajectories",
+    "run_ptm",
+    "run_ptm_ensemble",
+    "PtmCache",
     "noisy_distribution",
+    "NOISE_ENGINES",
     "MAX_DENSITY_QUBITS",
+    "MAX_PTM_QUBITS",
     "Backend",
     "fake_manila",
     "linear_backend",

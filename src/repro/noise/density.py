@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuits.circuit import Circuit
-from repro.exceptions import SimulationError
+from repro.exceptions import SimulationCapacityError
 from repro.linalg.embed import apply_gate_to_matrix
 from repro.noise.model import NoiseModel, apply_readout_error, pauli_matrix
 
@@ -63,9 +63,19 @@ def run_density(
     """
     num_qubits = circuit.num_qubits
     if num_qubits > MAX_DENSITY_QUBITS:
-        raise SimulationError(
-            f"density simulation capped at {MAX_DENSITY_QUBITS} qubits; "
-            f"use the trajectory sampler for {num_qubits}"
+        # Structured refusal: the 4^n density matrix would not fit, so
+        # name the engine that handles this size instead of letting the
+        # allocation fail (or swap) later.
+        from repro.noise.ptm import MAX_PTM_QUBITS
+
+        raise SimulationCapacityError(
+            "density",
+            num_qubits,
+            MAX_DENSITY_QUBITS,
+            suggested_engine=(
+                "ptm" if num_qubits <= MAX_PTM_QUBITS else "trajectories"
+            ),
+            detail=f"the density matrix would hold 4^{num_qubits} complexes",
         )
     dim = 2**num_qubits
     rho = np.zeros((dim, dim), dtype=complex)
@@ -89,10 +99,22 @@ def run_density(
             )
         return terms_by_arity[arity]
 
+    # Gate matrices depend only on (name, params): Trotterized circuits
+    # repeat a handful of gates hundreds of times, and ``gate.matrix()``
+    # re-materializes a fresh array on every call.
+    gate_matrices: dict[tuple[str, tuple[float, ...]], np.ndarray] = {}
+
+    def _gate_matrix(op) -> np.ndarray:
+        key = (op.name, op.params)
+        matrix = gate_matrices.get(key)
+        if matrix is None:
+            matrix = gate_matrices[key] = op.gate.matrix()
+        return matrix
+
     for op in circuit.operations:
         if op.name in ("measure", "barrier"):
             continue
-        rho = _conjugate_apply(rho, op.gate.matrix(), op.qubits, num_qubits)
+        rho = _conjugate_apply(rho, _gate_matrix(op), op.qubits, num_qubits)
         terms = _channel_terms(len(op.qubits))
         if terms:
             if len(op.qubits) <= 2:

@@ -1,0 +1,641 @@
+"""Superoperator (Pauli-transfer-matrix) noise engine.
+
+Exact like :func:`repro.noise.density.run_density`, but structured for
+throughput: every gate-plus-channel pair is compiled *once* into a real
+``4^k x 4^k`` Pauli-transfer matrix (PTM), and a whole noisy ensemble
+then evolves as batched PTM contractions over Pauli-basis density
+vectors — the ensemble axis is one leading batch dimension instead of a
+Python loop over circuits (and instead of the trajectory engine's loop
+over ``T`` stochastic samples: a PTM run needs no sampling at all).
+
+Representation.  For ``n`` qubits the state is the real vector
+``r_j = Tr(P_j rho)`` over the ``4^n`` Pauli strings ``P_j``
+(``rho = 2^-n sum_j r_j P_j``).  A channel ``E`` acts linearly:
+``r' = R r`` with ``R_ij = 2^-k Tr(P_i E(P_j))``.  Three structural
+facts make this fast:
+
+* a unitary gate's PTM is computed from ``k <= 3`` qubit matrices
+  (at most ``64 x 64``), once, and cached by the global-phase-canonical
+  gate hash plus the channel fingerprint (the
+  :class:`~repro.parallel.cache.PoolCache` content-addressing idiom);
+* a Pauli channel is *diagonal* in the Pauli basis — entry ``j`` is
+  ``(1 - p_tot) + sum_a p_a s(a, j)`` with ``s = +-1`` for
+  commuting/anticommuting strings — so gate+channel compose by scaling
+  the gate PTM's rows, and idle decoherence is a broadcast multiply;
+* applying a ``k``-qubit PTM to ``B`` ensemble members is one einsum
+  over a ``(B, 4, ..., 4)`` tensor, the exact analogue of
+  :func:`repro.linalg.embed.apply_gate_to_states` with local dimension
+  4 instead of 2.
+
+Axis conventions mirror :mod:`repro.linalg.embed`: the Pauli vector
+reshaped to ``(4,) * n`` has axis ``a`` for qubit ``n - 1 - a``, and a
+``k``-qubit PTM reshaped to ``(4,) * 2k`` contracts its input axis ``i``
+with the state axis of qubit ``qubits[k - 1 - i]`` (Pauli labels are
+little-endian strings, like :func:`repro.noise.model.pauli_matrix`).
+
+All contraction kernels run through the :mod:`repro.linalg.array_api`
+shim, so selecting the ``cupy`` or ``torch`` backend moves the identical
+code path onto a GPU; compilation stays on host numpy (tiny matrices,
+runs once per distinct gate).
+
+Compiled PTMs cross into the evolution loop exactly once per cache
+miss, and are health-checked there: trace preservation (first row
+``e_0``) and complete positivity (Choi matrix PSD) via
+:func:`repro.resilience.validation.validate_ptm`, feeding the existing
+:class:`~repro.exceptions.ValidationError` quarantine discipline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import string
+from dataclasses import dataclass
+from functools import reduce
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import SimulationCapacityError, SimulationError
+from repro.linalg.array_api import ArrayBackend, get_backend
+from repro.noise.model import (
+    ONE_QUBIT_PAULIS,
+    NoiseModel,
+    apply_readout_error,
+    pauli_matrix,
+)
+from repro.observability import get_metrics, get_tracer
+
+#: Practical ceiling of the PTM engine: the Pauli vector is ``4^n``
+#: floats per ensemble member (n=12 -> 128 MiB), and each contraction
+#: touches all of it.  Beyond this, the trajectory sampler wins.
+MAX_PTM_QUBITS = 12
+
+#: Probability digits mixed into channel fingerprints; rates closer
+#: than 1e-12 share a compiled PTM, far below any physical calibration.
+_FINGERPRINT_DECIMALS = 12
+
+#: Decimal places of the gate-matrix cache key (see
+#: :meth:`PtmCache.gate_channel_ptm` for why this is finer than the
+#: synthesis cache's default).
+_KEY_DECIMALS = 14
+
+_LETTERS = string.ascii_lowercase
+
+
+def _pauli_labels(k: int) -> tuple[str, ...]:
+    """All ``4^k`` Pauli strings of ``k`` chars, row-major in I/X/Y/Z."""
+    return tuple("".join(t) for t in itertools.product("IXYZ", repeat=k))
+
+
+_PAULI_STACKS: dict[int, np.ndarray] = {}
+
+
+def _pauli_stack(k: int) -> np.ndarray:
+    """Stacked dense Pauli matrices, shape ``(4^k, 2^k, 2^k)``, cached."""
+    stack = _PAULI_STACKS.get(k)
+    if stack is None:
+        stack = np.stack([pauli_matrix(label) for label in _pauli_labels(k)])
+        _PAULI_STACKS[k] = stack
+    return stack
+
+
+def _commutation_sign(a: str, b: str) -> float:
+    """``+1`` if Pauli strings ``a`` and ``b`` commute, else ``-1``."""
+    anti = sum(
+        1
+        for x, y in zip(a, b)
+        if x != "I" and y != "I" and x != y
+    )
+    return 1.0 if anti % 2 == 0 else -1.0
+
+
+def channel_diagonal(
+    terms: list[tuple[float, str]] | tuple, arity: int
+) -> np.ndarray:
+    """PTM of a Pauli channel on ``arity`` qubits: a ``4^arity`` diagonal.
+
+    ``terms`` are ``(probability, label)`` pairs as produced by
+    :meth:`NoiseModel.pauli_terms`; the identity keeps the residual
+    weight.  Diagonality is exact: ``P_a P_j P_a = +- P_j``.
+    """
+    labels = _pauli_labels(arity)
+    total = sum(p for p, _ in terms)
+    diag = np.full(4**arity, 1.0 - total)
+    for probability, term_label in terms:
+        if len(term_label) != arity:
+            raise SimulationError(
+                f"channel term {term_label!r} does not act on {arity} qubit(s)"
+            )
+        signs = np.array(
+            [_commutation_sign(term_label, label) for label in labels]
+        )
+        diag += probability * signs
+    return diag
+
+
+def unitary_ptm(gate: np.ndarray, arity: int) -> np.ndarray:
+    """PTM ``R_ij = 2^-k Tr(P_i U P_j U^dag)`` of a ``k``-qubit unitary."""
+    dim = 2**arity
+    if gate.shape != (dim, dim):
+        raise SimulationError(
+            f"gate shape {gate.shape} does not match {arity} qubit(s)"
+        )
+    paulis = _pauli_stack(arity)
+    rotated = np.einsum("ab,jbc,dc->jad", gate, paulis, gate.conj())
+    return np.real(np.einsum("iab,jba->ij", paulis, rotated)) / dim
+
+
+def choi_matrix(ptm: np.ndarray, arity: int) -> np.ndarray:
+    """Choi matrix of a channel given its PTM (basis ``|a><b| -> E(|a><b|)``).
+
+    ``C = 2^-k sum_ij R_ij (P_j^T (x) P_i)``; the channel is completely
+    positive iff ``C`` is positive semidefinite — the check
+    :func:`repro.resilience.validation.validate_ptm` runs on every
+    compiled PTM before it enters the evolution loop.
+    """
+    dim = 2**arity
+    paulis = _pauli_stack(arity)
+    choi = np.einsum("ij,jba,icd->acbd", ptm, paulis, paulis)
+    return choi.reshape(dim * dim, dim * dim) / dim
+
+
+def trace_preservation_defect(ptm: np.ndarray) -> float:
+    """Max deviation of the PTM's first row from ``e_0``.
+
+    ``r_0 = Tr(rho)``, so a trace-preserving channel must map it to
+    itself regardless of the other components: row 0 is ``(1, 0, ...)``.
+    """
+    if not np.all(np.isfinite(ptm)):
+        return float("inf")
+    row = np.array(ptm[0], dtype=float, copy=True)
+    row[0] -= 1.0
+    return float(np.max(np.abs(row)))
+
+
+def _terms_fingerprint(terms) -> tuple:
+    """Hashable channel fingerprint: rounded rates + labels, in order."""
+    return tuple(
+        (round(float(p), _FINGERPRINT_DECIMALS), label) for p, label in terms
+    )
+
+
+def _program_key(circuit: Circuit, noise: NoiseModel) -> tuple:
+    """Content key of a compiled program: circuit ops + channel rates.
+
+    Gates are fully determined by ``(name, params)`` and readout error
+    is applied outside the program, so this tuple captures everything
+    compilation depends on — and building it is pure Python, orders of
+    magnitude cheaper than re-hashing every gate matrix.
+    """
+    return (
+        circuit.num_qubits,
+        tuple(
+            (op.name, op.qubits, op.params)
+            for op in circuit.operations
+            if op.name not in ("measure", "barrier")
+        ),
+        round(float(noise.one_qubit_error), _FINGERPRINT_DECIMALS),
+        round(float(noise.two_qubit_error), _FINGERPRINT_DECIMALS),
+        round(float(noise.idle_decoherence), _FINGERPRINT_DECIMALS),
+    )
+
+
+class PtmCache:
+    """Content-addressed cache of compiled PTMs.
+
+    Gate PTMs are keyed by the global-phase-canonical hash of the gate
+    matrix (PTMs are phase-invariant, so ``U`` and ``e^{i theta} U``
+    share an entry — the same canonicalization the synthesis
+    :class:`~repro.parallel.cache.PoolCache` uses) mixed with the
+    fingerprint of the attached Pauli channel.  Every miss is validated
+    (trace preservation + complete positivity) before it is stored, so
+    nothing unphysical can enter the evolution loop, cached or not.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, np.ndarray] = {}
+        self._programs: dict[tuple, PtmProgram] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive; they describe the run)."""
+        self._entries.clear()
+        self._programs.clear()
+
+    def program(self, key: tuple, build) -> PtmProgram:
+        """Whole-circuit compile cache, keyed by :func:`_program_key`.
+
+        Repeated ensemble evaluation (the Sec. 5 loop) would otherwise
+        re-walk every circuit through the per-gate cache each call —
+        the gate PTMs hit, but the per-op hashing itself dominates the
+        warm path.
+        """
+        entry = self._programs.get(key)
+        if entry is None:
+            entry = self._programs[key] = build()
+        return entry
+
+    def _lookup(self, key: tuple, build) -> np.ndarray:
+        metrics = get_metrics()
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            if metrics.is_enabled:
+                metrics.inc("ptm.compile_cache_hits")
+            return entry
+        self.misses += 1
+        if metrics.is_enabled:
+            metrics.inc("ptm.compile_cache_misses")
+        entry = build()
+        entry.setflags(write=False)
+        self._entries[key] = entry
+        return entry
+
+    def gate_channel_ptm(
+        self, gate: np.ndarray, terms, arity: int
+    ) -> np.ndarray:
+        """Compiled PTM of ``gate`` followed by the Pauli channel ``terms``."""
+        # Imported lazily: the noise package initializes before the
+        # synthesis stack that repro.parallel.cache pulls in.
+        from repro.parallel.cache import canonical_unitary_bytes
+
+        key = (
+            "gate",
+            arity,
+            # The synthesis cache's default 8-decimal rounding merges
+            # unitaries ~1e-8 apart — fine for pool reuse, but here a
+            # collision substitutes one gate's PTM for another and the
+            # substitution error compounds per gate.  14 decimals keeps
+            # keys stable for genuinely repeated matrices while holding
+            # collision error below the engine's 1e-10 agreement pin.
+            canonical_unitary_bytes(gate, decimals=_KEY_DECIMALS),
+            _terms_fingerprint(terms),
+        )
+
+        def build() -> np.ndarray:
+            from repro.resilience.validation import validate_ptm
+
+            ptm = unitary_ptm(gate, arity)
+            if terms:
+                # Channel-after-gate composes as a row scaling because
+                # the channel PTM is diagonal.
+                ptm = channel_diagonal(terms, arity)[:, None] * ptm
+            validate_ptm(ptm, arity, label=f"gate PTM ({arity}q)")
+            return ptm
+
+        return self._lookup(key, build)
+
+    def channel_diag(self, terms, arity: int) -> np.ndarray:
+        """Compiled diagonal of a bare Pauli channel (no gate)."""
+        key = ("diag", arity, _terms_fingerprint(terms))
+
+        def build() -> np.ndarray:
+            from repro.resilience.validation import validate_ptm
+
+            diag = channel_diagonal(terms, arity)
+            validate_ptm(
+                np.diag(diag), arity, label=f"channel PTM ({arity}q)"
+            )
+            return diag
+
+        return self._lookup(key, build)
+
+
+#: Process-wide compile cache: gate PTMs depend only on (gate, channel),
+#: so entries are valid across circuits, ensembles, and runs.
+_DEFAULT_CACHE = PtmCache()
+
+
+def default_cache() -> PtmCache:
+    """The process-wide compile cache (exposed for tests/inspection)."""
+    return _DEFAULT_CACHE
+
+
+@dataclass(frozen=True)
+class PtmOp:
+    """One compiled superoperator application.
+
+    Exactly one of ``matrix`` (a full ``4^k x 4^k`` PTM) and ``diag``
+    (the diagonal of a Pauli channel) is set.
+    """
+
+    qubits: tuple[int, ...]
+    matrix: np.ndarray | None = None
+    diag: np.ndarray | None = None
+
+    @property
+    def is_diag(self) -> bool:
+        return self.diag is not None
+
+
+@dataclass(frozen=True)
+class PtmProgram:
+    """A circuit compiled to an ordered PTM-op sequence."""
+
+    num_qubits: int
+    ops: tuple[PtmOp, ...]
+
+    @property
+    def signature(self) -> tuple:
+        """Structural shape used to batch programs across an ensemble.
+
+        Programs with equal signatures apply same-kind ops to the same
+        qubits at every position, so their states stack into one batch
+        and each position is a single contraction (with the per-member
+        PTMs stacked along the batch axis when they differ).
+        """
+        return (
+            self.num_qubits,
+            tuple((op.qubits, op.is_diag) for op in self.ops),
+        )
+
+
+def compile_circuit(
+    circuit: Circuit, noise: NoiseModel, cache: PtmCache | None = None
+) -> PtmProgram:
+    """Compile ``circuit`` + ``noise`` into a :class:`PtmProgram`.
+
+    Mirrors the channel structure of ``run_density`` exactly: each
+    gate's Pauli channel follows it (fused into one PTM for arity <= 2),
+    wider gates are charged one two-qubit channel per consecutive pair,
+    and idle qubits decohere once per operation.
+    """
+    cache = _DEFAULT_CACHE if cache is None else cache
+    return cache.program(
+        _program_key(circuit, noise),
+        lambda: _compile_circuit(circuit, noise, cache),
+    )
+
+
+def _compile_circuit(
+    circuit: Circuit, noise: NoiseModel, cache: PtmCache
+) -> PtmProgram:
+    """Program-cache miss path: walk the ops through the gate cache."""
+    num_qubits = circuit.num_qubits
+    idle_diag = None
+    if noise.idle_decoherence > 0.0:
+        idle_terms = tuple(
+            (noise.idle_decoherence / 3.0, p) for p in ONE_QUBIT_PAULIS
+        )
+        idle_diag = cache.channel_diag(idle_terms, 1)
+    ops: list[PtmOp] = []
+    for op in circuit.operations:
+        if op.name in ("measure", "barrier"):
+            continue
+        arity = len(op.qubits)
+        if arity <= 2:
+            ptm = cache.gate_channel_ptm(
+                op.gate.matrix(), tuple(noise.pauli_terms(arity)), arity
+            )
+            ops.append(PtmOp(op.qubits, matrix=ptm))
+        else:
+            ops.append(
+                PtmOp(
+                    op.qubits,
+                    matrix=cache.gate_channel_ptm(op.gate.matrix(), (), arity),
+                )
+            )
+            pair_terms = tuple(noise.pauli_terms(2))
+            if pair_terms:
+                pair_diag = cache.channel_diag(pair_terms, 2)
+                for i in range(arity - 1):
+                    ops.append(
+                        PtmOp(
+                            (op.qubits[i], op.qubits[i + 1]), diag=pair_diag
+                        )
+                    )
+        if idle_diag is not None:
+            for qubit in range(num_qubits):
+                if qubit not in op.qubits:
+                    ops.append(PtmOp((qubit,), diag=idle_diag))
+    return PtmProgram(num_qubits, tuple(ops))
+
+
+def _initial_pauli_vector(num_qubits: int) -> np.ndarray:
+    """Pauli vector of ``|0...0><0...0|``: 1 on all-{I,Z} strings."""
+    base = np.array([1.0, 0.0, 0.0, 1.0])
+    return reduce(np.kron, [base] * num_qubits)
+
+
+def _target_letters(qubits: tuple[int, ...], num_qubits: int) -> list[str]:
+    """State-tensor letter for each PTM input axis (embed.py convention)."""
+    k = len(qubits)
+    return [_LETTERS[num_qubits - 1 - qubits[k - 1 - i]] for i in range(k)]
+
+
+def _apply_matrix_ptm(
+    states,
+    ptm,
+    qubits: tuple[int, ...],
+    num_qubits: int,
+    batch: int,
+    per_member: bool,
+    xb: ArrayBackend,
+):
+    """One batched PTM contraction; ``ptm`` is shared or ``(B, ...)``."""
+    k = len(qubits)
+    state_sub = "Z" + _LETTERS[:num_qubits]
+    in_letters = _target_letters(qubits, num_qubits)
+    out_letters = [_LETTERS[num_qubits + i] for i in range(k)]
+    ptm_sub = ("Z" if per_member else "") + "".join(out_letters) + "".join(
+        in_letters
+    )
+    out_sub = state_sub
+    for src, dst in zip(in_letters, out_letters):
+        out_sub = out_sub.replace(src, dst)
+    tensor = xb.reshape(states, (batch,) + (4,) * num_qubits)
+    ptm_shape = ((batch,) if per_member else ()) + (4,) * (2 * k)
+    result = xb.einsum(
+        f"{ptm_sub},{state_sub}->{out_sub}",
+        xb.reshape(ptm, ptm_shape),
+        tensor,
+    )
+    return xb.reshape(result, (batch, 4**num_qubits))
+
+
+def _apply_diag_ptm(
+    states,
+    diag,
+    qubits: tuple[int, ...],
+    num_qubits: int,
+    batch: int,
+    per_member: bool,
+    xb: ArrayBackend,
+):
+    """Broadcast-multiply a diagonal channel along its target axes."""
+    k = len(qubits)
+    state_sub = "Z" + _LETTERS[:num_qubits]
+    diag_sub = ("Z" if per_member else "") + "".join(
+        _target_letters(qubits, num_qubits)
+    )
+    tensor = xb.reshape(states, (batch,) + (4,) * num_qubits)
+    diag_shape = ((batch,) if per_member else ()) + (4,) * k
+    result = xb.einsum(
+        f"{diag_sub},{state_sub}->{state_sub}",
+        xb.reshape(diag, diag_shape),
+        tensor,
+    )
+    return xb.reshape(result, (batch, 4**num_qubits))
+
+
+def _pauli_to_probabilities(
+    states, num_qubits: int, batch: int, xb: ArrayBackend
+) -> np.ndarray:
+    """Computational-basis probabilities from a batch of Pauli vectors.
+
+    Only all-{I,Z} strings have diagonal matrix elements; slicing them
+    out and transforming each axis by ``[[1, 1], [1, -1]]`` (a
+    Walsh-Hadamard pass) yields ``p(b) = 2^-n sum_z r_z prod (-1)^(b.z)``.
+    """
+    tensor = xb.reshape(states, (batch,) + (4,) * num_qubits)
+    for axis in range(1, num_qubits + 1):
+        tensor = xb.take(tensor, (0, 3), axis)
+    transform = xb.asarray([[1.0, 1.0], [1.0, -1.0]], dtype="float64")
+    state_sub = "Z" + _LETTERS[:num_qubits]
+    for letter in _LETTERS[:num_qubits]:
+        tensor = xb.einsum(
+            f"y{letter},{state_sub}->{state_sub.replace(letter, 'y')}",
+            transform,
+            tensor,
+        )
+    probs = xb.to_numpy(xb.reshape(tensor, (batch, 2**num_qubits)))
+    return probs / 2**num_qubits
+
+
+def _check_capacity(num_qubits: int) -> None:
+    if num_qubits > MAX_PTM_QUBITS:
+        raise SimulationCapacityError(
+            "ptm",
+            num_qubits,
+            MAX_PTM_QUBITS,
+            suggested_engine="trajectories",
+            detail=f"the Pauli vector would hold 4^{num_qubits} floats",
+        )
+
+
+def run_ptm_ensemble(
+    circuits: list[Circuit],
+    noise: NoiseModel,
+    *,
+    backend: str | ArrayBackend | None = None,
+    cache: PtmCache | None = None,
+) -> np.ndarray:
+    """Exact noisy output distribution of every circuit in one batch.
+
+    Returns a ``(len(circuits), 2^n)`` array of distributions (rows in
+    input order).  Circuits are grouped by structural signature; within
+    a group the ensemble axis is a leading batch dimension and every
+    operation position is a single backend contraction.  A QUEST
+    ensemble — selections over shared block pools — collapses into a
+    handful of such groups.
+    """
+    if not circuits:
+        raise SimulationError("no circuits to evaluate")
+    widths = {circuit.num_qubits for circuit in circuits}
+    if len(widths) != 1:
+        raise SimulationError(
+            f"ensemble circuits must share a qubit count, got {sorted(widths)}"
+        )
+    num_qubits = widths.pop()
+    _check_capacity(num_qubits)
+    xb = get_backend(backend)
+    cache = _DEFAULT_CACHE if cache is None else cache
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span(
+        "ptm.ensemble",
+        circuits=len(circuits),
+        qubits=num_qubits,
+        backend=xb.name,
+    ):
+        programs = [
+            compile_circuit(circuit, noise, cache) for circuit in circuits
+        ]
+        groups: dict[tuple, list[int]] = {}
+        for index, program in enumerate(programs):
+            groups.setdefault(program.signature, []).append(index)
+        if metrics.is_enabled:
+            metrics.inc("ptm.ensemble_groups", len(groups))
+        initial = _initial_pauli_vector(num_qubits)
+        out = np.empty((len(circuits), 2**num_qubits))
+        for members in groups.values():
+            batch = len(members)
+            states = xb.asarray(
+                np.tile(initial, (batch, 1)), dtype="float64"
+            )
+            contractions = 0
+            for position in range(len(programs[members[0]].ops)):
+                ops_at = [programs[m].ops[position] for m in members]
+                first = ops_at[0]
+                if first.is_diag:
+                    shared = all(op.diag is first.diag for op in ops_at)
+                    operand = xb.asarray(
+                        first.diag
+                        if shared
+                        else np.stack([op.diag for op in ops_at]),
+                        dtype="float64",
+                    )
+                    states = _apply_diag_ptm(
+                        states, operand, first.qubits, num_qubits, batch,
+                        not shared, xb,
+                    )
+                else:
+                    shared = all(op.matrix is first.matrix for op in ops_at)
+                    operand = xb.asarray(
+                        first.matrix
+                        if shared
+                        else np.stack([op.matrix for op in ops_at]),
+                        dtype="float64",
+                    )
+                    states = _apply_matrix_ptm(
+                        states, operand, first.qubits, num_qubits, batch,
+                        not shared, xb,
+                    )
+                contractions += 1
+            if metrics.is_enabled:
+                metrics.inc("ptm.contractions", contractions)
+            probs = _pauli_to_probabilities(states, num_qubits, batch, xb)
+            probs = np.clip(probs, 0.0, None)
+            probs /= probs.sum(axis=1, keepdims=True)
+            for row, member in enumerate(members):
+                out[member] = apply_readout_error(
+                    probs[row], num_qubits, noise.readout_error
+                )
+    return out
+
+
+def run_ptm(
+    circuit: Circuit,
+    noise: NoiseModel,
+    *,
+    backend: str | ArrayBackend | None = None,
+    cache: PtmCache | None = None,
+) -> np.ndarray:
+    """Exact noisy output distribution of one circuit via the PTM engine.
+
+    Single-circuit convenience over :func:`run_ptm_ensemble` (a batch of
+    one); agrees with :func:`repro.noise.density.run_density` to float
+    precision while running an order of magnitude fewer contractions per
+    noisy gate (one ``16 x 16`` PTM instead of ~32 conjugations).
+    """
+    return run_ptm_ensemble([circuit], noise, backend=backend, cache=cache)[0]
+
+
+__all__ = [
+    "MAX_PTM_QUBITS",
+    "PtmCache",
+    "PtmOp",
+    "PtmProgram",
+    "channel_diagonal",
+    "choi_matrix",
+    "compile_circuit",
+    "default_cache",
+    "run_ptm",
+    "run_ptm_ensemble",
+    "trace_preservation_defect",
+    "unitary_ptm",
+]

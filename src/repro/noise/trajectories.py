@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.circuits.circuit import Circuit
-from repro.exceptions import SimulationError
+from repro.exceptions import SimulationCapacityError, SimulationError
 from repro.linalg.embed import apply_gate_to_state, apply_gate_to_states
 from repro.noise.model import (
     ONE_QUBIT_PAULIS,
@@ -42,6 +42,51 @@ from repro.sim.statevector import probabilities, zero_state
 
 _PAULI_CACHE = {label: pauli_matrix(label) for label in ONE_QUBIT_PAULIS}
 _PAULI_CACHE.update({label: pauli_matrix(label) for label in TWO_QUBIT_PAULIS})
+
+#: Hard qubit ceiling for the trajectory sampler: one statevector is
+#: ``2^n`` complexes (256 MiB at n=24); past this even a single
+#: trajectory thrashes, so refuse with structure instead of hanging.
+MAX_TRAJECTORY_QUBITS = 24
+
+#: Max bytes the batched engine may stage as its ``(T, 2^n)`` block
+#: before refusing; the scalar engine (one state at a time) or a lower
+#: trajectory count still work beyond it.
+MAX_BATCHED_STATE_BYTES = 4 * 2**30
+
+_COMPLEX_BYTES = 16
+
+
+def _check_capacity(num_qubits: int, trajectories: int, batched: bool) -> None:
+    """Refuse sizes that would hang or OOM, naming the way out."""
+    from repro.noise.ptm import MAX_PTM_QUBITS
+
+    if num_qubits > MAX_TRAJECTORY_QUBITS:
+        raise SimulationCapacityError(
+            "trajectories",
+            num_qubits,
+            MAX_TRAJECTORY_QUBITS,
+            suggested_engine=None,
+            detail=(
+                f"one statevector is 2^{num_qubits} complexes; partition "
+                "the circuit (see repro.partition) instead"
+            ),
+        )
+    batch_bytes = trajectories * (2**num_qubits) * _COMPLEX_BYTES
+    if batched and batch_bytes > MAX_BATCHED_STATE_BYTES:
+        raise SimulationCapacityError(
+            "trajectories",
+            num_qubits,
+            MAX_TRAJECTORY_QUBITS,
+            suggested_engine=(
+                "ptm" if num_qubits <= MAX_PTM_QUBITS else None
+            ),
+            detail=(
+                f"the ({trajectories}, 2^{num_qubits}) trajectory batch "
+                f"needs {batch_bytes / 2**30:.1f} GiB "
+                f"(cap {MAX_BATCHED_STATE_BYTES / 2**30:.0f} GiB); lower "
+                "the trajectory count or pass batched=False"
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -215,6 +260,7 @@ def run_trajectories(
     """
     if trajectories < 1:
         raise SimulationError("need at least one trajectory")
+    _check_capacity(circuit.num_qubits, trajectories, batched)
     rng = np.random.default_rng(rng)
     num_qubits = circuit.num_qubits
     ops = [op for op in circuit.operations if op.name not in ("measure", "barrier")]

@@ -43,6 +43,8 @@ from repro.metrics.tolerances import (
     DISTANCE_CONSISTENCY_TOL,
     INDEPENDENT_AGREEMENT_TOL,
     POOL_UNITARY_MATCH_TOL,
+    PTM_CP_TOL,
+    PTM_TRACE_PRESERVATION_TOL,
     UNITARITY_TOL,
 )
 from repro.verify.independent import (
@@ -117,6 +119,65 @@ def validate_candidate_unitary(
                 f"{rederived:.6e} disagrees with recorded "
                 f"{recorded_distance:.6e} (tolerance {distance_tol:.1e})"
             )
+
+
+def validate_ptm(
+    ptm: np.ndarray,
+    arity: int,
+    *,
+    label: str = "PTM",
+    trace_tol: float = PTM_TRACE_PRESERVATION_TOL,
+    cp_tol: float = PTM_CP_TOL,
+) -> None:
+    """Health-check a compiled Pauli-transfer matrix.
+
+    A PTM crosses the same kind of trust boundary as a synthesis
+    candidate: it is cached content, and every downstream distribution
+    is a linear function of it.  The checks are the two physicality
+    invariants any Pauli-channel-after-unitary PTM must satisfy:
+
+    * **trace preservation** — the first row is ``e_0`` (``Tr(rho)`` is
+      conserved);
+    * **complete positivity** — the Choi matrix is Hermitian and
+      positive semidefinite to eigensolver rounding.
+
+    Failures raise :class:`~repro.exceptions.ValidationError`, keeping a
+    corrupted cache entry or a doctored channel out of the evolution
+    loop the same way candidate quarantine keeps bad pools out of
+    selection.
+    """
+    # Imported lazily: repro.noise.ptm calls back into this module on
+    # compile-cache misses, so a module-level import would be circular.
+    from repro.noise.ptm import choi_matrix, trace_preservation_defect
+
+    dim = 4**arity
+    if ptm.shape != (dim, dim):
+        raise ValidationError(
+            f"{label}: shape {ptm.shape} is not ({dim}, {dim})"
+        )
+    if not np.all(np.isfinite(ptm)):
+        raise ValidationError(f"{label}: contains non-finite entries")
+    defect = trace_preservation_defect(ptm)
+    if defect > trace_tol:
+        raise ValidationError(
+            f"{label}: trace-preservation defect {defect:.3e} exceeds "
+            f"tolerance {trace_tol:.1e}"
+        )
+    choi = choi_matrix(ptm, arity)
+    hermiticity = float(np.max(np.abs(choi - choi.conj().T)))
+    if hermiticity > cp_tol:
+        raise ValidationError(
+            f"{label}: Choi matrix Hermiticity defect {hermiticity:.3e} "
+            f"exceeds tolerance {cp_tol:.1e}"
+        )
+    min_eigenvalue = float(
+        np.linalg.eigvalsh((choi + choi.conj().T) / 2.0).min()
+    )
+    if min_eigenvalue < -cp_tol:
+        raise ValidationError(
+            f"{label}: Choi matrix eigenvalue {min_eigenvalue:.3e} breaks "
+            f"complete positivity (tolerance {cp_tol:.1e})"
+        )
 
 
 def validate_solutions(

@@ -1,0 +1,121 @@
+"""Tests for the pluggable array-API shim (repro.linalg.array_api)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ArrayBackendError
+from repro.linalg.array_api import (
+    ARRAY_BACKEND_ENV,
+    BACKEND_NAMES,
+    ArrayBackend,
+    available_backends,
+    get_backend,
+)
+
+
+def _installed(module: str) -> bool:
+    try:
+        __import__(module)
+    except ImportError:
+        return False
+    return True
+
+
+def test_numpy_backend_is_default():
+    backend = get_backend()
+    assert backend.name == "numpy"
+    assert get_backend("numpy") is backend  # resolution is cached
+
+
+def test_numpy_backend_operations_roundtrip():
+    xb = get_backend("numpy")
+    a = xb.asarray([[1.0, 2.0], [3.0, 4.0]], dtype="float64")
+    assert xb.to_numpy(a).dtype == np.float64
+    z = xb.zeros((2, 3))
+    assert xb.to_numpy(z).shape == (2, 3)
+    stacked = xb.stack([a, a])
+    assert xb.to_numpy(stacked).shape == (2, 2, 2)
+    product = xb.einsum("ij,jk->ik", a, a)
+    np.testing.assert_allclose(xb.to_numpy(product), xb.to_numpy(a) @ xb.to_numpy(a))
+    taken = xb.take(a, (1,), 1)
+    np.testing.assert_allclose(xb.to_numpy(taken), [[2.0], [4.0]])
+    reshaped = xb.reshape(a, (4,))
+    np.testing.assert_allclose(xb.to_numpy(reshaped), [1.0, 2.0, 3.0, 4.0])
+
+
+def test_backend_instance_passes_through():
+    xb = get_backend("numpy")
+    assert get_backend(xb) is xb
+
+
+def test_env_var_resolution(monkeypatch):
+    monkeypatch.setenv(ARRAY_BACKEND_ENV, "numpy")
+    assert get_backend().name == "numpy"
+    monkeypatch.setenv(ARRAY_BACKEND_ENV, "definitely-not-a-backend")
+    with pytest.raises(ArrayBackendError, match="unknown array backend"):
+        get_backend()
+    # An explicit argument beats the (broken) environment setting.
+    assert get_backend("numpy").name == "numpy"
+
+
+def test_unknown_backend_error_names_choices():
+    with pytest.raises(ArrayBackendError) as excinfo:
+        get_backend("fortran")
+    for name in BACKEND_NAMES:
+        assert name in str(excinfo.value)
+
+
+def test_available_backends_always_contains_numpy():
+    names = available_backends()
+    assert "numpy" in names
+    assert set(names) <= set(BACKEND_NAMES)
+
+
+@pytest.mark.parametrize("name", ["cupy", "torch"])
+def test_missing_optional_backend_fails_gracefully(name):
+    if _installed(name):
+        pytest.skip(f"{name} is installed in this environment")
+    with pytest.raises(ArrayBackendError) as excinfo:
+        get_backend(name)
+    message = str(excinfo.value)
+    assert name in message
+    assert "available backends" in message
+
+
+def test_abstract_backend_methods_raise():
+    backend = ArrayBackend()
+    for call in (
+        lambda: backend.asarray([1.0]),
+        lambda: backend.zeros((1,)),
+        lambda: backend.stack([]),
+        lambda: backend.einsum("i->i", np.zeros(1)),
+        lambda: backend.take(np.zeros(1), (0,), 0),
+        lambda: backend.reshape(np.zeros(1), (1,)),
+        lambda: backend.to_numpy(np.zeros(1)),
+    ):
+        with pytest.raises(NotImplementedError):
+            call()
+
+
+def test_cli_exits_2_when_backend_missing(tmp_path, capsys):
+    if _installed("cupy"):
+        pytest.skip("cupy is installed in this environment")
+    from repro.algorithms import tfim
+    from repro.circuits import circuit_to_qasm
+    from repro.cli import main
+
+    qasm_path = tmp_path / "tfim.qasm"
+    qasm_path.write_text(circuit_to_qasm(tfim(3, steps=1)))
+    code = main(
+        [
+            str(qasm_path),
+            "--out-dir", str(tmp_path / "out"),
+            "--array-backend", "cupy",
+        ]
+    )
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "cupy" in captured.err
+    assert not (tmp_path / "out").exists()  # failed before any synthesis

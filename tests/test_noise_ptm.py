@@ -1,0 +1,394 @@
+"""Tests for the superoperator (PTM) noise engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import qft, tfim
+from repro.circuits import Circuit, random_circuit
+from repro.core import QuestConfig, run_quest
+from repro.exceptions import (
+    SimulationCapacityError,
+    SimulationError,
+    ValidationError,
+)
+from repro.metrics.tolerances import PTM_DENSITY_AGREEMENT_ATOL
+from repro.noise import (
+    MAX_DENSITY_QUBITS,
+    MAX_PTM_QUBITS,
+    NoiseModel,
+    PtmCache,
+    noisy_distribution,
+    run_density,
+    run_ptm,
+    run_ptm_ensemble,
+)
+from repro.noise.ptm import (
+    PtmProgram,
+    channel_diagonal,
+    compile_circuit,
+    unitary_ptm,
+)
+from repro.noise.trajectories import (
+    MAX_BATCHED_STATE_BYTES,
+    MAX_TRAJECTORY_QUBITS,
+    run_trajectories,
+)
+from repro.observability import MetricsRegistry, use_metrics
+from repro.resilience.validation import validate_ptm
+from repro.sim import ideal_distribution
+
+NOISE = NoiseModel.from_noise_level(0.01)
+FULL_NOISE = NoiseModel(
+    one_qubit_error=0.002,
+    two_qubit_error=0.02,
+    readout_error=0.015,
+    idle_decoherence=0.004,
+)
+
+
+# ---------------------------------------------------------------------------
+# PTM compilation primitives
+
+
+def test_unitary_ptm_of_identity_is_identity():
+    np.testing.assert_allclose(unitary_ptm(np.eye(2), 1), np.eye(4), atol=1e-14)
+
+
+def test_unitary_ptm_of_x_flips_y_and_z():
+    ptm = unitary_ptm(np.array([[0, 1], [1, 0]], dtype=complex), 1)
+    np.testing.assert_allclose(ptm, np.diag([1.0, 1.0, -1.0, -1.0]), atol=1e-14)
+
+
+def test_channel_diagonal_depolarizing():
+    # Symmetric depolarizing at rate p: X/Y/Z components shrink by 1-4p/3.
+    p = 0.03
+    diag = channel_diagonal(tuple((p / 3.0, label) for label in "XYZ"), 1)
+    np.testing.assert_allclose(
+        diag, [1.0, 1 - 4 * p / 3, 1 - 4 * p / 3, 1 - 4 * p / 3], atol=1e-14
+    )
+
+
+def test_ptm_is_phase_invariant():
+    gate = np.array([[1, 0], [0, np.exp(1j * 0.7)]], dtype=complex)
+    np.testing.assert_allclose(
+        unitary_ptm(gate, 1),
+        unitary_ptm(np.exp(1j * 1.3) * gate, 1),
+        atol=1e-14,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Agreement with the density-matrix reference
+
+
+def _assert_matches_density(circuit: Circuit, noise: NoiseModel):
+    expected = run_density(circuit, noise)
+    actual = run_ptm(circuit, noise)
+    np.testing.assert_allclose(
+        actual, expected, atol=PTM_DENSITY_AGREEMENT_ATOL, rtol=0.0
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_ptm_matches_density_on_random_circuits(seed):
+    circuit = random_circuit(3, 4, rng=seed)
+    _assert_matches_density(circuit, NOISE)
+
+
+def test_ptm_matches_density_on_tfim_and_qft():
+    _assert_matches_density(tfim(4, steps=2), NOISE)
+    _assert_matches_density(qft(4), NOISE)
+
+
+def test_ptm_matches_density_with_idle_decoherence_and_readout():
+    _assert_matches_density(random_circuit(4, 3, rng=11), FULL_NOISE)
+
+
+def test_ptm_matches_density_on_wide_gate():
+    # ccx exercises the arity>=3 path: bare gate PTM + per-pair channels.
+    circuit = Circuit(3)
+    circuit.h(0)
+    circuit.ccx(0, 1, 2)
+    circuit.h(2)
+    _assert_matches_density(circuit, FULL_NOISE)
+
+
+def test_ptm_noiseless_matches_ideal_distribution():
+    circuit = random_circuit(3, 4, rng=5)
+    np.testing.assert_allclose(
+        run_ptm(circuit, NoiseModel.noiseless()),
+        ideal_distribution(circuit),
+        atol=1e-10,
+    )
+
+
+def test_ptm_matches_trajectories_statistically():
+    # Trajectories converge to the PTM answer (both average the same
+    # channel); loose tolerance, T=2000 keeps it fast but stable.
+    circuit = tfim(3, steps=1)
+    exact = run_ptm(circuit, NOISE)
+    sampled = run_trajectories(circuit, NOISE, trajectories=2000, rng=3)
+    assert np.max(np.abs(exact - sampled)) < 0.05
+
+
+# ---------------------------------------------------------------------------
+# Ensemble batching
+
+
+def test_ensemble_rows_equal_single_circuit_runs():
+    circuits = [random_circuit(3, 3, rng=seed) for seed in range(5)]
+    batch = run_ptm_ensemble(circuits, FULL_NOISE)
+    assert batch.shape == (5, 8)
+    for row, circuit in zip(batch, circuits):
+        np.testing.assert_array_equal(row, run_ptm(circuit, FULL_NOISE))
+
+
+def test_ensemble_batches_structurally_identical_circuits():
+    # Same gate skeleton, different angles: one signature group, with
+    # per-member PTM stacks where the angles differ.
+    circuits = []
+    for i in range(4):
+        c = Circuit(2)
+        c.ry(0.3 + 0.1 * i, 0)
+        c.cx(0, 1)
+        c.rz(0.5, 1)
+        circuits.append(c)
+    signatures = {
+        compile_circuit(c, NOISE).signature for c in circuits
+    }
+    assert len(signatures) == 1
+    batch = run_ptm_ensemble(circuits, NOISE)
+    for row, circuit in zip(batch, circuits):
+        np.testing.assert_allclose(
+            row, run_density(circuit, NOISE),
+            atol=PTM_DENSITY_AGREEMENT_ATOL, rtol=0.0,
+        )
+
+
+def test_ensemble_rejects_empty_and_mixed_widths():
+    with pytest.raises(SimulationError, match="no circuits"):
+        run_ptm_ensemble([], NOISE)
+    with pytest.raises(SimulationError, match="share a qubit count"):
+        run_ptm_ensemble([Circuit(2), Circuit(3)], NOISE)
+
+
+# ---------------------------------------------------------------------------
+# Compile cache
+
+
+def test_compile_cache_hits_on_repeated_gates():
+    cache = PtmCache()
+    circuit = tfim(3, steps=3)  # Trotter layers repeat the same gates
+    program = compile_circuit(circuit, NOISE, cache)
+    assert isinstance(program, PtmProgram)
+    assert cache.misses > 0
+    assert cache.hits > cache.misses  # repeats dominate distinct gates
+    misses_before = cache.misses
+    compile_circuit(circuit, NOISE, cache)  # fully cached second pass
+    assert cache.misses == misses_before
+
+
+def test_compile_cache_distinguishes_noise_models():
+    cache = PtmCache()
+    circuit = Circuit(1)
+    circuit.h(0)
+    compile_circuit(circuit, NoiseModel.from_noise_level(0.01), cache)
+    misses = cache.misses
+    compile_circuit(circuit, NoiseModel.from_noise_level(0.05), cache)
+    assert cache.misses > misses  # different channel => different entry
+
+
+def test_compile_cache_does_not_merge_nearby_gates():
+    # Regression: the synthesis cache's 8-decimal rounding would merge
+    # these two rotations and silently reuse the wrong PTM.
+    cache = PtmCache()
+    a = Circuit(1)
+    a.rz(0.5, 0)
+    b = Circuit(1)
+    b.rz(0.5 + 1e-7, 0)
+    run_ptm(a, NOISE, cache=cache)  # warm the cache with the nearby gate
+    np.testing.assert_allclose(
+        run_ptm(b, NOISE, cache=cache),
+        run_density(b, NOISE),
+        atol=PTM_DENSITY_AGREEMENT_ATOL, rtol=0.0,
+    )
+
+
+def test_compile_cache_metrics_counters():
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        run_ptm_ensemble(
+            [tfim(3, steps=2), tfim(3, steps=2)], NOISE, cache=PtmCache()
+        )
+    snapshot = registry.snapshot()
+    counters = snapshot.get("counters", snapshot)
+    assert counters.get("ptm.compile_cache_hits", 0) > 0
+    assert counters.get("ptm.compile_cache_misses", 0) > 0
+    assert counters.get("ptm.contractions", 0) > 0
+    assert counters.get("ptm.ensemble_groups", 0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# Validation (resilience integration)
+
+
+def test_validate_ptm_accepts_honest_ptm():
+    gate = np.array([[0, 1], [1, 0]], dtype=complex)
+    ptm = unitary_ptm(gate, 1)
+    validate_ptm(ptm, 1)  # must not raise
+
+
+def test_validate_ptm_rejects_trace_violation():
+    ptm = unitary_ptm(np.eye(2, dtype=complex), 1)
+    ptm = ptm.copy()
+    ptm[0, 0] = 1.5  # r_0 no longer preserved
+    with pytest.raises(ValidationError, match="trace"):
+        validate_ptm(ptm, 1)
+
+
+def test_validate_ptm_rejects_non_cp_map():
+    # Transpose map: trace-preserving but famously not CP.
+    ptm = np.diag([1.0, 1.0, -1.0, 1.0])
+    with pytest.raises(ValidationError, match="positiv"):
+        validate_ptm(ptm, 1)
+
+
+def test_validate_ptm_rejects_bad_shape_and_nan():
+    with pytest.raises(ValidationError):
+        validate_ptm(np.eye(3), 1)
+    bad = unitary_ptm(np.eye(2, dtype=complex), 1).copy()
+    bad[2, 2] = np.nan
+    with pytest.raises(ValidationError):
+        validate_ptm(bad, 1)
+
+
+# ---------------------------------------------------------------------------
+# Capacity ceilings (structured refusals)
+
+
+def test_density_over_cap_suggests_ptm():
+    circuit = Circuit(MAX_DENSITY_QUBITS + 1)
+    for q in range(circuit.num_qubits):
+        circuit.h(q)
+    with pytest.raises(SimulationCapacityError) as excinfo:
+        run_density(circuit, NOISE)
+    error = excinfo.value
+    assert error.engine == "density"
+    assert error.num_qubits == MAX_DENSITY_QUBITS + 1
+    assert error.limit == MAX_DENSITY_QUBITS
+    assert error.suggested_engine == "ptm"
+    assert "ptm" in str(error)
+
+
+def test_density_far_over_cap_suggests_trajectories():
+    circuit = Circuit(MAX_PTM_QUBITS + 1)
+    circuit.h(0)
+    with pytest.raises(SimulationCapacityError) as excinfo:
+        run_density(circuit, NOISE)
+    assert excinfo.value.suggested_engine == "trajectories"
+
+
+def test_ptm_over_cap_suggests_trajectories():
+    circuit = Circuit(MAX_PTM_QUBITS + 1)
+    circuit.h(0)
+    with pytest.raises(SimulationCapacityError) as excinfo:
+        run_ptm(circuit, NOISE)
+    error = excinfo.value
+    assert error.engine == "ptm"
+    assert error.suggested_engine == "trajectories"
+
+
+def test_trajectories_over_qubit_cap_refuses():
+    circuit = Circuit(MAX_TRAJECTORY_QUBITS + 1)
+    circuit.h(0)
+    with pytest.raises(SimulationCapacityError) as excinfo:
+        run_trajectories(circuit, NOISE, trajectories=1)
+    assert excinfo.value.engine == "trajectories"
+    assert "partition" in str(excinfo.value)
+
+
+def test_trajectories_batched_memory_cap():
+    # 20 qubits x enough trajectories to blow the 4 GiB batch cap; the
+    # refusal must fire before any state is allocated.
+    circuit = Circuit(20)
+    circuit.h(0)
+    too_many = MAX_BATCHED_STATE_BYTES // (16 * 2**20) + 1
+    with pytest.raises(SimulationCapacityError, match="batch"):
+        run_trajectories(circuit, NOISE, trajectories=too_many, batched=True)
+
+
+def test_capacity_error_is_a_simulation_error():
+    assert issubclass(SimulationCapacityError, SimulationError)
+
+
+# ---------------------------------------------------------------------------
+# Engine dispatch
+
+
+def test_noisy_distribution_engine_dispatch():
+    circuit = tfim(3, steps=1)
+    via_ptm = noisy_distribution(circuit, NOISE, engine="ptm")
+    via_density = noisy_distribution(circuit, NOISE, engine="density")
+    via_auto = noisy_distribution(circuit, NOISE, engine="auto")
+    np.testing.assert_array_equal(via_auto, via_density)  # auto == legacy
+    np.testing.assert_allclose(
+        via_ptm, via_density, atol=PTM_DENSITY_AGREEMENT_ATOL, rtol=0.0
+    )
+
+
+def test_noisy_distribution_rejects_unknown_engine():
+    with pytest.raises(SimulationError, match="unknown noise engine"):
+        noisy_distribution(tfim(3, steps=1), NOISE, engine="exact")
+
+
+def test_quest_config_rejects_unknown_engine():
+    from repro.exceptions import SelectionError
+
+    with pytest.raises(SelectionError, match="unknown noise engine"):
+        run_quest(tfim(3, steps=1), QuestConfig(noise_engine="exact"))
+
+
+# ---------------------------------------------------------------------------
+# Full-pipeline regression: selections are engine-independent
+
+
+_FAST = dict(
+    seed=7,
+    max_samples=4,
+    max_block_qubits=2,
+    max_layers_per_block=3,
+    solutions_per_layer=2,
+    instantiation_starts=2,
+    max_optimizer_iterations=120,
+    block_time_budget=10.0,
+    threshold_per_block=0.3,
+)
+
+
+def _choices(result):
+    return tuple(tuple(int(i) for i in choice) for choice in result.selection.choices)
+
+
+@pytest.mark.parametrize("circuit_factory", [lambda: tfim(4, steps=2), lambda: qft(4)])
+def test_selections_bit_identical_across_engines(circuit_factory):
+    results = {
+        engine: run_quest(
+            circuit_factory(), QuestConfig(noise_engine=engine, **_FAST)
+        )
+        for engine in ("ptm", "density", "trajectories")
+    }
+    reference = _choices(results["density"])
+    for engine, result in results.items():
+        assert _choices(result) == reference, engine
+        assert result.noise_engine == engine
+
+    # And the PTM evaluation of the selected ensemble agrees with the
+    # exact density reference while attributing its wall time.
+    ptm_avg = results["ptm"].noisy_ensemble(NOISE)
+    density_avg = results["density"].noisy_ensemble(NOISE)
+    np.testing.assert_allclose(
+        ptm_avg, density_avg, atol=PTM_DENSITY_AGREEMENT_ATOL, rtol=0.0
+    )
+    assert results["ptm"].timings.noisy_eval_seconds > 0.0
