@@ -13,6 +13,7 @@ Public API highlights::
     print(result.summary())
 """
 
+from repro.batch import BatchResult, run_quest_batch
 from repro.circuits import Circuit, Gate, Operation
 from repro.core import QuestConfig, QuestResult, ensemble_distribution, run_quest
 from repro.exceptions import ReproError
@@ -28,6 +29,8 @@ __all__ = [
     "Gate",
     "Operation",
     "run_quest",
+    "run_quest_batch",
+    "BatchResult",
     "QuestConfig",
     "QuestResult",
     "ensemble_distribution",

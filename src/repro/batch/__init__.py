@@ -1,0 +1,29 @@
+"""Batch compilation layer: shared worker pool, dedup, shm transport.
+
+See :mod:`repro.batch.driver` for the entry point
+(:func:`run_quest_batch`), :mod:`repro.batch.workqueue` for the
+in-flight dedup registry, and :mod:`repro.batch.shm` for the
+shared-memory candidate transport.
+"""
+
+from repro.batch.driver import BatchResources, BatchResult, run_quest_batch
+from repro.batch.shm import (
+    ShmEnvelope,
+    ShmTransportError,
+    decode_payload,
+    encode_payload,
+    shm_available,
+)
+from repro.batch.workqueue import InflightRegistry
+
+__all__ = [
+    "run_quest_batch",
+    "BatchResult",
+    "BatchResources",
+    "InflightRegistry",
+    "ShmEnvelope",
+    "ShmTransportError",
+    "encode_payload",
+    "decode_payload",
+    "shm_available",
+]

@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.circuits import circuit_from_qasm, circuit_to_qasm
@@ -42,6 +43,7 @@ from repro.observability import (
     get_logger,
     render_summary,
     summarize_trace,
+    use_tracer,
 )
 from repro.resilience.faults import parse_fault_spec
 from repro.verify import (
@@ -68,6 +70,38 @@ def build_parser() -> argparse.ArgumentParser:
         description="QUEST: approximate a quantum circuit to reduce CNOTs.",
     )
     parser.add_argument("input", type=Path, help="OpenQASM 2.0 circuit file")
+    _add_compile_options(parser)
+    return parser
+
+
+def build_compile_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro compile-batch",
+        description="Compile a batch of circuits through one shared "
+        "substrate: a persistent worker pool, a cross-circuit "
+        "content-addressed cache, and in-flight block dedup.  "
+        "Per-circuit results are bit-identical to solo runs.",
+    )
+    parser.add_argument(
+        "inputs",
+        type=Path,
+        nargs="+",
+        help="OpenQASM 2.0 circuit files (one result set per input)",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=_positive_int,
+        default=2,
+        help="circuits compiled concurrently (bounded in-flight "
+        "window; synthesis of circuit i+1 overlaps selection of "
+        "circuit i; default 2)",
+    )
+    _add_compile_options(parser)
+    return parser
+
+
+def _add_compile_options(parser: argparse.ArgumentParser) -> None:
+    """The compile knobs shared by ``repro`` and ``repro compile-batch``."""
     parser.add_argument(
         "--out-dir",
         type=Path,
@@ -110,6 +144,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for the persistent block-synthesis cache "
         "(default: in-memory only)",
+    )
+    parser.add_argument(
+        "--cache-max-entries",
+        type=_positive_int,
+        default=None,
+        help="bound the --cache-dir disk tier to this many entries, "
+        "evicting least-recently-used files (default: unbounded)",
+    )
+    parser.add_argument(
+        "--shm-transport",
+        action="store_true",
+        help="move candidate arrays from worker processes through "
+        "checksummed shared-memory envelopes instead of the result "
+        "pipe (workers > 1 only; falls back to pickle when shared "
+        "memory is unavailable)",
     )
     parser.add_argument(
         "--checkpoint-dir",
@@ -207,7 +256,6 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_ARRAY_BACKEND, falling back to numpy); exits 2 if the "
         "requested library is not installed",
     )
-    return parser
 
 
 def build_trace_summary_parser() -> argparse.ArgumentParser:
@@ -366,20 +414,33 @@ def _trace_summary_main(argv: list[str]) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "trace-summary":
-        return _trace_summary_main(argv[1:])
-    if argv and argv[0] == "verify-run":
-        return _verify_run_main(argv[1:])
-    args = build_parser().parse_args(argv)
-    configure_logging(args.log_level)
-    logger = get_logger("cli")
-    try:
-        circuit = circuit_from_qasm(args.input.read_text())
-    except (OSError, ReproError) as exc:
-        logger.error(f"error reading {args.input}: {exc}")
-        return 2
+def _config_from_args(args) -> QuestConfig:
+    """Build the QuestConfig both compile entry points share."""
+    return QuestConfig(
+        seed=args.seed,
+        max_samples=args.max_samples,
+        max_block_qubits=args.block_qubits,
+        threshold_per_block=args.threshold,
+        block_time_budget=args.time_budget,
+        workers=args.workers,
+        cache=not args.no_cache,
+        cache_dir=None if args.cache_dir is None else str(args.cache_dir),
+        cache_max_entries=args.cache_max_entries,
+        shm_transport=args.shm_transport,
+        checkpoint_dir=(
+            None if args.checkpoint_dir is None else str(args.checkpoint_dir)
+        ),
+        retry_attempts=args.retry_attempts,
+        retry_budget_multiplier=args.retry_budget_multiplier,
+        certify=args.certify,
+        certify_candidates=args.certify_candidates,
+        noise_engine=args.noise_engine,
+        array_backend=args.array_backend,
+    )
+
+
+def _compile_preflight(args, logger) -> int:
+    """Shared argument validation; returns 0 or the exit code."""
     if args.cache_dir is not None and not args.no_cache:
         try:
             args.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -396,15 +457,65 @@ def main(argv: list[str] | None = None) -> int:
     except ArrayBackendError as exc:
         logger.error(f"error: --array-backend: {exc}")
         return 2
-    fault_injector = None
-    if args.inject_faults is not None:
-        try:
-            fault_injector = parse_fault_spec(
-                args.inject_faults, seed=args.fault_seed
+    return 0
+
+
+def _parse_fault_injector(args, logger):
+    """Returns (injector, exit_code); exit_code nonzero on bad spec."""
+    if args.inject_faults is None:
+        return None, 0
+    try:
+        return parse_fault_spec(args.inject_faults, seed=args.fault_seed), 0
+    except ValueError as exc:
+        logger.error(f"error: --inject-faults: {exc}")
+        return None, 2
+
+
+def _write_approximations(result, out_dir: Path, block_qubits: int, logger) -> None:
+    """Write approx_XX.qasm + claims manifests for one QuestResult."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for index, (approx, bound) in enumerate(
+        zip(result.circuits, result.selection.bounds)
+    ):
+        path = out_dir / f"approx_{index:02d}.qasm"
+        path.write_text(circuit_to_qasm(approx))
+        claims = claims_for_choice(
+            result.pools, result.selection.choices[index]
+        )
+        claims_path = out_dir / f"approx_{index:02d}.claims.json"
+        claims_path.write_text(
+            json.dumps(
+                claims_to_manifest(claims, block_qubits=block_qubits),
+                indent=1,
             )
-        except ValueError as exc:
-            logger.error(f"error: --inject-faults: {exc}")
+            + "\n"
+        )
+        logger.info(
+            f"  {path}: {approx.cnot_count()} CNOTs "
+            f"(bound {bound:.4f}, baseline {result.original_cnot_count})"
+        )
+
+
+def _compile_batch_main(argv: list[str]) -> int:
+    from repro.batch import run_quest_batch
+
+    args = build_compile_batch_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    logger = get_logger("cli")
+    circuits = []
+    for path in args.inputs:
+        try:
+            circuits.append(circuit_from_qasm(path.read_text()))
+        except (OSError, ReproError) as exc:
+            logger.error(f"error reading {path}: {exc}")
             return 2
+    code = _compile_preflight(args, logger)
+    if code:
+        return code
+    fault_injector, code = _parse_fault_injector(args, logger)
+    if code:
+        return code
+    config = _config_from_args(args)
     tracer = None
     if args.trace_file is not None:
         try:
@@ -412,25 +523,85 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             logger.error(f"error: --trace-file {args.trace_file}: {exc}")
             return 2
-    config = QuestConfig(
-        seed=args.seed,
-        max_samples=args.max_samples,
-        max_block_qubits=args.block_qubits,
-        threshold_per_block=args.threshold,
-        block_time_budget=args.time_budget,
-        workers=args.workers,
-        cache=not args.no_cache,
-        cache_dir=None if args.cache_dir is None else str(args.cache_dir),
-        checkpoint_dir=(
-            None if args.checkpoint_dir is None else str(args.checkpoint_dir)
-        ),
-        retry_attempts=args.retry_attempts,
-        retry_budget_multiplier=args.retry_budget_multiplier,
-        certify=args.certify,
-        certify_candidates=args.certify_candidates,
-        noise_engine=args.noise_engine,
-        array_backend=args.array_backend,
-    )
+    try:
+        with use_tracer(tracer) if tracer is not None else nullcontext():
+            batch = run_quest_batch(
+                circuits,
+                config,
+                window=args.batch_window,
+                checkpoint_dir=(
+                    None
+                    if args.checkpoint_dir is None
+                    else str(args.checkpoint_dir)
+                ),
+                resume=args.resume,
+                fault_injector=fault_injector,
+            )
+    except ReproError as exc:
+        logger.error(f"QUEST batch failed: {exc}")
+        return 1
+    finally:
+        if tracer is not None:
+            tracer.close()
+    logger.info(batch.summary())
+    for path, result in zip(args.inputs, batch.results):
+        logger.info(f"{path.name}: {result.summary()}")
+        _write_approximations(
+            result, args.out_dir / path.stem, args.block_qubits, logger
+        )
+    if args.metrics_json is not None:
+        try:
+            args.metrics_json.write_text(
+                json.dumps(batch.metrics, indent=1, default=str) + "\n"
+            )
+        except OSError as exc:
+            logger.error(f"error: --metrics-json {args.metrics_json}: {exc}")
+            return 1
+        logger.info(f"  metrics: wrote batch snapshot to {args.metrics_json}")
+    if config.certify:
+        violated = [
+            path.name
+            for path, result in zip(args.inputs, batch.results)
+            if result.certified is False
+        ]
+        if violated:
+            logger.error(
+                f"certification VIOLATED for {', '.join(violated)}"
+            )
+            return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace-summary":
+        return _trace_summary_main(argv[1:])
+    if argv and argv[0] == "verify-run":
+        return _verify_run_main(argv[1:])
+    if argv and argv[0] == "compile-batch":
+        return _compile_batch_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    logger = get_logger("cli")
+    try:
+        circuit = circuit_from_qasm(args.input.read_text())
+    except (OSError, ReproError) as exc:
+        logger.error(f"error reading {args.input}: {exc}")
+        return 2
+    code = _compile_preflight(args, logger)
+    if code:
+        return code
+    fault_injector, code = _parse_fault_injector(args, logger)
+    if code:
+        return code
+    tracer = None
+    if args.trace_file is not None:
+        try:
+            tracer = Tracer(JsonlSink(args.trace_file))
+        except OSError as exc:
+            logger.error(f"error: --trace-file {args.trace_file}: {exc}")
+            return 2
+    config = _config_from_args(args)
     try:
         result = run_quest(
             circuit,
@@ -445,7 +616,6 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if tracer is not None:
             tracer.close()
-    args.out_dir.mkdir(parents=True, exist_ok=True)
     logger.info(result.summary())
     logger.info(
         f"  synthesis: {result.cache_misses} block(s) synthesized, "
@@ -480,26 +650,7 @@ def main(argv: list[str] | None = None) -> int:
         logger.info(f"  metrics: wrote snapshot to {args.metrics_json}")
     if args.trace_file is not None:
         logger.info(f"  trace: wrote span/event stream to {args.trace_file}")
-    for index, (approx, bound) in enumerate(
-        zip(result.circuits, result.selection.bounds)
-    ):
-        path = args.out_dir / f"approx_{index:02d}.qasm"
-        path.write_text(circuit_to_qasm(approx))
-        claims = claims_for_choice(
-            result.pools, result.selection.choices[index]
-        )
-        claims_path = args.out_dir / f"approx_{index:02d}.claims.json"
-        claims_path.write_text(
-            json.dumps(
-                claims_to_manifest(claims, block_qubits=args.block_qubits),
-                indent=1,
-            )
-            + "\n"
-        )
-        logger.info(
-            f"  {path}: {approx.cnot_count()} CNOTs "
-            f"(bound {bound:.4f}, baseline {result.original_cnot_count})"
-        )
+    _write_approximations(result, args.out_dir, args.block_qubits, logger)
     if result.certifications:
         for index, report in enumerate(result.certifications):
             line = f"  certify approx_{index:02d}: {report.summary()}"

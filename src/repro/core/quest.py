@@ -86,6 +86,16 @@ class QuestConfig:
     #: Directory for the persistent cross-run cache tier (None = memory only;
     #: ignored when ``cache`` is False).
     cache_dir: str | None = None
+    #: Size bound on the disk cache tier (entries, LRU-evicted by mtime;
+    #: None = unbounded).  Only meaningful with ``cache_dir``.
+    cache_max_entries: int | None = None
+    #: Ship candidate arrays from workers through checksummed
+    #: shared-memory envelopes instead of the result pipe (workers > 1
+    #: only; falls back to pickle where shared memory is unavailable).
+    shm_transport: bool = False
+    #: Array-bytes threshold below which the shm transport keeps the
+    #: plain pickle (None = repro.batch.shm.DEFAULT_MIN_BYTES).
+    shm_min_bytes: int | None = None
     #: Directory for the crash-recovery run journal (None = no journal).
     #: Completed block pools persist there atomically; a rerun with the
     #: same circuit/config resumes from them (see repro.resilience).
@@ -199,6 +209,9 @@ class QuestResult:
     failure_log: list[FailureRecord] = field(default_factory=list)
     #: Synthesis attempts beyond each block's first (retry count).
     retries: int = 0
+    #: Duplicate blocks served by attaching to an existing synthesis job
+    #: (cache-off repeats, and in-flight joins in batch mode).
+    dedup_joins: int = 0
     #: Blocks restored from the run journal instead of synthesized.
     checkpoint_hits: int = 0
     #: Disk cache entries that existed but failed integrity checks.
@@ -390,6 +403,7 @@ def run_quest(
     fault_injector=None,
     tracer=None,
     metrics=None,
+    shared=None,
 ) -> QuestResult:
     """Run the full QUEST pipeline on ``circuit``.
 
@@ -412,6 +426,14 @@ def run_quest(
     touches an RNG, so results are bit-identical with it on or off.
     ``metrics`` (default: a fresh per-run registry) accumulates the run
     counters snapshotted into ``QuestResult.metrics``.
+
+    ``shared`` optionally carries batch-scoped resources (duck-typed:
+    any object with ``cache`` / ``worker_pool`` / ``inflight``
+    attributes, see :class:`repro.batch.driver.BatchResources`) so
+    concurrent runs reuse one worker pool, one cache, and one in-flight
+    dedup registry.  Sharing never changes results: the dedup key pins
+    the synthesis seed, so a shared run's selections stay bit-identical
+    to a solo run's.
     """
     config = config or QuestConfig()
     tracer = tracer if tracer is not None else get_tracer()
@@ -426,7 +448,7 @@ def run_quest(
         ):
             result = _run_pipeline(
                 circuit, config, checkpoint_dir, resume, fault_injector,
-                tracer, metrics,
+                tracer, metrics, shared,
             )
     result.metrics = metrics.snapshot()
     return result
@@ -440,6 +462,7 @@ def _run_pipeline(
     fault_injector,
     tracer,
     metrics,
+    shared=None,
 ) -> QuestResult:
     """The pipeline body; runs under the ambient tracer/metrics pair."""
     from repro.noise import NOISE_ENGINES
@@ -481,13 +504,18 @@ def _run_pipeline(
                 resume=resume,
                 fault_injector=fault_injector,
             )
+        cache = None
+        if config.cache:
+            cache = getattr(shared, "cache", None)
+            if cache is None:
+                cache = PoolCache(
+                    config.cache_dir,
+                    fault_injector=fault_injector,
+                    max_entries=config.cache_max_entries,
+                )
         executor = BlockSynthesisExecutor(
             workers=config.workers,
-            cache=(
-                PoolCache(config.cache_dir, fault_injector=fault_injector)
-                if config.cache
-                else None
-            ),
+            cache=cache,
             hard_timeout=(
                 None
                 if config.block_time_budget is None
@@ -502,6 +530,10 @@ def _run_pipeline(
             fault_injector=fault_injector,
             validate=config.validate_candidates,
             independent_validation=config.certify_candidates,
+            worker_pool=getattr(shared, "worker_pool", None),
+            inflight=getattr(shared, "inflight", None),
+            shm_transport=config.shm_transport,
+            shm_min_bytes=config.shm_min_bytes,
         )
         result.pools, synthesis_stats = executor.run(
             result.blocks, config, block_seeds
@@ -511,6 +543,7 @@ def _run_pipeline(
     result.synthesis_fallbacks = synthesis_stats.fallback_blocks
     result.failure_log = synthesis_stats.failure_log
     result.retries = synthesis_stats.retries
+    result.dedup_joins = synthesis_stats.dedup_joins
     result.checkpoint_hits = synthesis_stats.checkpoint_hits
     result.cache_corrupt_entries = synthesis_stats.cache_corrupt_entries
     result.checkpoint_corrupt_entries = (

@@ -23,6 +23,12 @@ envelope carrying a format version, the key, and a SHA-256 checksum of
 the payload; anything that fails to load, fails the checksum, or carries
 the wrong version/key is treated as a miss and recomputed — a corrupt or
 partially-written file can cost time, never correctness.
+
+The disk tier can be size-bounded (``max_entries``): after every store
+the oldest entries by mtime are evicted until the bound holds, and hits
+refresh their entry's mtime, making the policy LRU.  Eviction can only
+ever cost a future recomputation, so a concurrent writer racing an
+eviction is benign.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -98,14 +105,24 @@ class PoolCache:
         self,
         cache_dir: str | os.PathLike | None = None,
         fault_injector=None,
+        max_entries: int | None = None,
     ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._memory: dict[str, list[SynthesisSolution]] = {}
         self._dir: Path | None = None
         if cache_dir is not None:
             self._dir = Path(cache_dir)
             self._dir.mkdir(parents=True, exist_ok=True)
+        #: Disk-tier entry bound (None = unbounded); LRU by mtime.
+        self.max_entries = max_entries
+        # Several executors may share one cache in batch mode; the lock
+        # covers the memory dict and the evict scan.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Disk entries evicted to honour ``max_entries``.
+        self.evictions = 0
         #: Disk entries that existed but failed an integrity check
         #: (checksum, key, payload type, or unpicklable bytes).  Stale
         #: format versions and missing files are plain misses, not
@@ -125,22 +142,36 @@ class PoolCache:
 
     def get(self, key: str) -> list[SynthesisSolution] | None:
         """Return the stored solutions for ``key``, or None on a miss."""
-        solutions = self._memory.get(key)
+        with self._lock:
+            solutions = self._memory.get(key)
         if solutions is None and self._dir is not None:
             solutions = self._load_disk(key)
             if solutions is not None:
-                self._memory[key] = solutions
+                with self._lock:
+                    self._memory[key] = solutions
         if solutions is None:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
+        if self._dir is not None:
+            # LRU refresh: a hit keeps the backing disk entry young so
+            # eviction targets genuinely cold keys.
+            try:
+                os.utime(self._path(key))
+            except OSError:
+                pass
         return solutions
 
     def put(self, key: str, solutions: list[SynthesisSolution]) -> None:
         """Store ``solutions`` under ``key`` (memory, and disk if enabled)."""
-        self._memory[key] = list(solutions)
+        with self._lock:
+            self._memory[key] = list(solutions)
         if self._dir is not None:
             self._store_disk(key, solutions)
+            if self.max_entries is not None:
+                self._evict_lru()
 
     # ------------------------------------------------------------------
     # Disk tier
@@ -171,6 +202,42 @@ class PoolCache:
             return
         if self.fault_injector is not None:
             self.fault_injector.on_cache_write(path)
+
+    def _evict_lru(self) -> None:
+        """Drop oldest-by-mtime disk entries until ``max_entries`` holds.
+
+        Only the disk tier is bounded — the memory tier is per-run and
+        already deduplicated.  Losing a race with a concurrent writer
+        (an entry vanishing mid-scan) is benign: eviction can only cost
+        a future recomputation, never correctness.
+        """
+        assert self._dir is not None and self.max_entries is not None
+        with self._lock:
+            entries: list[tuple[float, Path]] = []
+            for path in self._dir.glob("*.qpool"):
+                try:
+                    entries.append((path.stat().st_mtime, path))
+                except OSError:
+                    continue  # Evicted or replaced under us: skip.
+            excess = len(entries) - self.max_entries
+            if excess <= 0:
+                return
+            entries.sort(key=lambda item: (item[0], item[1].name))
+            evicted = 0
+            for _, path in entries[:excess]:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                evicted += 1
+            self.evictions += evicted
+        if evicted:
+            tracer = get_tracer()
+            if tracer.is_enabled:
+                tracer.event("cache.evict", count=evicted)
+            metrics = get_metrics()
+            if metrics.is_enabled:
+                metrics.inc("cache.evictions", evicted)
 
     def _load_disk(self, key: str) -> list[SynthesisSolution] | None:
         path = self._path(key)

@@ -10,8 +10,10 @@ block order, so neither worker count nor completion order can change
 which seed a block synthesizes under.  Blocks whose content key (see
 :mod:`repro.parallel.cache`) collides are canonicalized to the seed of
 the *first* occurrence; since LEAP is deterministic given (target,
-config, seed), repeated blocks then produce byte-identical solutions
-whether they are recomputed (cache off) or reused (cache on).
+config, seed), repeated blocks dedup to one synthesis job with
+byte-identical results, cache or no cache — and, through a shared
+:class:`~repro.batch.workqueue.InflightRegistry`, across concurrently
+compiling circuits of a batch.
 
 **Caching.**  With a :class:`~repro.parallel.cache.PoolCache`, each
 unique entry key synthesizes at most once per run; repeats and disk hits
@@ -42,13 +44,21 @@ future's hard result timeout, while the inline (``workers == 1``) path
 arms a *cooperative* deadline (:mod:`repro.resilience.deadline`) that
 the synthesis loops check between optimizer runs — the only way to bound
 work that runs in the parent process itself.
+
+Worker processes live in a :class:`~repro.parallel.pool_manager.
+PersistentWorkerPool` that is reused across retry rounds (and, when the
+batch driver supplies one, across circuits); a round that observes a
+hung or killed worker marks the pool for recycling rather than paying
+construction every round.  With ``shm_transport`` the candidate arrays
+come home through checksummed shared-memory envelopes
+(:mod:`repro.batch.shm`) instead of the result pipe.
 """
 
 from __future__ import annotations
 
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
@@ -69,6 +79,7 @@ from repro.observability import (
     use_tracer,
 )
 from repro.parallel.cache import PoolCache, content_key, entry_key
+from repro.parallel.pool_manager import PersistentWorkerPool
 from repro.partition.blocks import CircuitBlock
 from repro.resilience.deadline import block_deadline
 from repro.resilience.retry import (
@@ -176,6 +187,22 @@ def _observed_task(task, injector, index, attempt, block, config, seed):
     return solutions, elapsed, sink.records, metrics.snapshot()
 
 
+def _discard_late_envelope(future) -> None:
+    """Done-callback for abandoned (timed-out) shm tasks.
+
+    The driver gave up on this future; if the worker nonetheless
+    finishes and hands back an envelope, unlink its segment so abandoned
+    results cannot accumulate in ``/dev/shm``.
+    """
+    try:
+        envelope = future.result(timeout=0)
+    except Exception:
+        return
+    from repro.batch.shm import discard_envelope
+
+    discard_envelope(envelope)
+
+
 def _note_failure(
     log: RetryLog, index: int, attempt: int, kind: str, message: str
 ) -> None:
@@ -197,11 +224,14 @@ def assemble_pool(
     solutions: list[SynthesisSolution],
     config,
     seed: int,
+    solution_unitaries=None,
 ) -> BlockPool:
     """Build the block's candidate pool from raw LEAP solutions.
 
     Runs in the parent process: the pool embeds the (position-specific)
     block, so only the solutions themselves are shareable across blocks.
+    ``solution_unitaries`` optionally reuses worker-instantiated
+    matrices shipped through the shared-memory transport.
     """
     # No single block may eat more than its per-block share of the total
     # threshold — the per-block analogue of Algorithm 1's rejection line.
@@ -210,6 +240,7 @@ def assemble_pool(
         solutions,
         max_candidates=config.max_candidates_per_block,
         distance_cap=config.threshold_per_block,
+        solution_unitaries=solution_unitaries,
     )
     if config.sphere_variants_per_count > 0:
         augment_with_sphere_variants(
@@ -255,6 +286,11 @@ class BlockSynthesisStats:
     checkpoint_hits: int = 0
     #: Synthesis attempts beyond each block's first, across the run.
     retries: int = 0
+    #: Duplicate blocks served by attaching to an existing job instead
+    #: of dispatching their own: within-run repeats with the cache
+    #: disabled, plus in-flight joins against a shared
+    #: :class:`~repro.batch.workqueue.InflightRegistry` (batch mode).
+    dedup_joins: int = 0
     #: Disk cache entries that existed but failed integrity checks.
     cache_corrupt_entries: int = 0
     #: Journal entries that existed but failed integrity/health checks.
@@ -312,6 +348,23 @@ class BlockSynthesisExecutor:
         own contraction path and must agree with the recorded
         artifacts.  Slower, so off by default; ignored when
         ``validate`` is off.
+    worker_pool:
+        Optional externally owned :class:`PersistentWorkerPool` (the
+        batch driver shares one across every circuit of a sweep).
+        ``None`` constructs a run-scoped pool on demand and shuts it
+        down when the run finishes.
+    inflight:
+        Optional shared :class:`~repro.batch.workqueue.InflightRegistry`
+        for cross-executor dedup: blocks whose entry key another
+        executor already has in flight join that job instead of racing
+        it to a cache miss.
+    shm_transport:
+        Ship worker results through checksummed shared-memory envelopes
+        (:mod:`repro.batch.shm`) instead of pickling candidate arrays
+        through the result pipe.  Ignored on the inline path.
+    shm_min_bytes:
+        Array-bytes threshold below which the shm transport falls back
+        to an inline pickle (default ``DEFAULT_MIN_BYTES``).
     """
 
     def __init__(
@@ -325,6 +378,10 @@ class BlockSynthesisExecutor:
         fault_injector=None,
         validate: bool = True,
         independent_validation: bool = False,
+        worker_pool: PersistentWorkerPool | None = None,
+        inflight=None,
+        shm_transport: bool = False,
+        shm_min_bytes: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -337,6 +394,16 @@ class BlockSynthesisExecutor:
         self.fault_injector = fault_injector
         self.validate = validate
         self.independent_validation = independent_validation
+        #: Externally owned pool (the batch driver shares one across
+        #: circuits); None constructs a run-scoped pool on demand.
+        self.worker_pool = worker_pool
+        #: Shared :class:`~repro.batch.workqueue.InflightRegistry`, or
+        #: None for solo runs (no cross-executor dedup).
+        self.inflight = inflight
+        #: Ship worker results through shared-memory envelopes
+        #: (:mod:`repro.batch.shm`); ignored on the inline path.
+        self.shm_transport = bool(shm_transport)
+        self.shm_min_bytes = shm_min_bytes
 
     def run(
         self,
@@ -370,6 +437,7 @@ class BlockSynthesisExecutor:
         plans: list[_BlockPlan] = []
         canonical_seed: dict[str, int] = {}
         resolved: dict[str, list[SynthesisSolution]] = {}
+        resolved_unitaries: dict[str, list] = {}
         resolved_attempt: dict[str, int] = {}
         jobs: dict[str, tuple[int, CircuitBlock, int]] = {}
         pools_by_index: dict[int, BlockPool] = {}
@@ -441,10 +509,16 @@ class BlockSynthesisExecutor:
                     continue
                 jobs[key] = (index, block, seed)
             else:
-                # Cache disabled: recompute repeats independently (the
-                # canonical seed keeps the results identical anyway).
+                # Cache disabled: within-run repeats still dedup to one
+                # job (the canonical seed makes their results identical
+                # anyway); nothing is persisted.
                 if key in jobs:
-                    key = f"{key}#{index}"
+                    stats.dedup_joins += 1
+                    if tracer.is_enabled:
+                        tracer.event("dedup.hit", block=index, source="run")
+                    if metrics.is_enabled:
+                        metrics.inc("dedup.hits")
+                    continue
                 jobs[key] = (index, block, seed)
             stats.cache_misses += 1
             if metrics.is_enabled:
@@ -459,10 +533,11 @@ class BlockSynthesisExecutor:
             for index, plan in enumerate(plans):
                 if plan.trivial or index in pools_by_index:
                     continue
-                if job_key != plan.key and job_key != f"{plan.key}#{index}":
+                if job_key != plan.key:
                     continue
                 pool = assemble_pool(
-                    blocks[index], resolved[job_key], config, plan.seed
+                    blocks[index], resolved[job_key], config, plan.seed,
+                    solution_unitaries=resolved_unitaries.get(job_key),
                 )
                 pools_by_index[index] = pool
                 self.journal.store_pool(index, plan.key, pool)
@@ -470,40 +545,105 @@ class BlockSynthesisExecutor:
         # Phase 2: execute the synthesis jobs, retrying under the policy.
         failures: dict[str, BaseException] = {}
         pending = dict(jobs)
-        for attempt in range(policy.max_attempts):
-            if not pending:
-                break
-            if attempt > 0:
-                stats.retries += len(pending)
-                if metrics.is_enabled:
-                    metrics.inc("retry.attempts", len(pending))
-                if tracer.is_enabled:
-                    for pending_key in pending:
-                        tracer.event(
-                            "retry.attempt",
-                            block=pending[pending_key][0],
-                            attempt=attempt,
+        own_pool: PersistentWorkerPool | None = None
+        pool_manager = self.worker_pool
+        if self.workers > 1 and pool_manager is None and pending:
+            # Run-scoped pool: constructed once, reused across retry
+            # rounds, recycled only when a round marks it unhealthy
+            # (hung or killed worker — see PersistentWorkerPool).
+            own_pool = PersistentWorkerPool(self.workers)
+            pool_manager = own_pool
+        # One opaque token per run() call: the in-flight registry keys
+        # claims by it, so a crashed run releases wholesale in `finally`.
+        claim_token = object()
+        try:
+            for attempt in range(policy.max_attempts):
+                if not pending:
+                    break
+                if attempt > 0:
+                    stats.retries += len(pending)
+                    if metrics.is_enabled:
+                        metrics.inc("retry.attempts", len(pending))
+                    if tracer.is_enabled:
+                        for pending_key in pending:
+                            tracer.event(
+                                "retry.attempt",
+                                block=pending[pending_key][0],
+                                attempt=attempt,
+                            )
+
+                # Split this round into jobs we own (we dispatch them)
+                # and jobs another executor has in flight (we join and
+                # adopt their published result).
+                owned = dict(pending)
+                joined: dict[str, tuple] = {}
+                if self.inflight is not None:
+                    for key in list(owned):
+                        entry = self.inflight.claim(key, claim_token)
+                        if entry is not None:
+                            joined[key] = (entry, owned.pop(key))
+
+                def on_success(
+                    key: str,
+                    attempt: int = attempt,
+                    owned: dict = owned,
+                ) -> None:
+                    # Fires as each job lands (not at round end) so a
+                    # crash mid-round has already journaled every
+                    # finished block.
+                    resolved_attempt[key] = attempt
+                    if self.inflight is not None and key in owned:
+                        # Same rule as the disk cache: only baseline
+                        # results are interchangeable with a solo run's,
+                        # so only those are shared with joiners.
+                        if policy.is_baseline_attempt(
+                            owned[key][2], attempt, base_budget
+                        ):
+                            self.inflight.publish(
+                                key,
+                                claim_token,
+                                resolved[key],
+                                resolved_unitaries.get(key),
+                            )
+                        else:
+                            self.inflight.fail(key, claim_token)
+                    if self.journal is not None:
+                        finalize(key)
+
+                def run_round(round_jobs, on_success=on_success, attempt=attempt):
+                    if not round_jobs:
+                        return []
+                    if self.workers == 1:
+                        return self._run_round_inline(
+                            task, config, round_jobs, attempt, policy,
+                            base_budget, resolved, stats, log, failures,
+                            on_success,
                         )
+                    return self._run_round_pool(
+                        task, config, round_jobs, attempt, policy,
+                        base_budget, resolved, resolved_unitaries, stats,
+                        log, failures, on_success, pool_manager,
+                    )
 
-            def on_success(key: str, attempt: int = attempt) -> None:
-                # Fires as each job lands (not at round end) so a crash
-                # mid-round has already journaled every finished block.
-                resolved_attempt[key] = attempt
-                if self.journal is not None:
-                    finalize(key)
-
-            if self.workers == 1:
-                succeeded = self._run_round_inline(
-                    task, config, pending, attempt, policy, base_budget,
-                    resolved, stats, log, failures, on_success,
-                )
-            else:
-                succeeded = self._run_round_pool(
-                    task, config, pending, attempt, policy, base_budget,
-                    resolved, stats, log, failures, on_success,
-                )
-            for key in succeeded:
-                del pending[key]
+                succeeded = run_round(owned)
+                if joined:
+                    adopted, leftover = self._adopt_joined(
+                        joined, policy, resolved, resolved_unitaries,
+                        resolved_attempt, stats, finalize,
+                    )
+                    succeeded += adopted
+                    # A join that came back empty (owner failed, or its
+                    # result was not publishable) falls back to this
+                    # executor's own attempt in the *same* round, so
+                    # retry/seed semantics match a solo run exactly.
+                    succeeded += run_round(leftover)
+                for key in succeeded:
+                    del pending[key]
+        finally:
+            if self.inflight is not None:
+                self.inflight.release(claim_token)
+            if own_pool is not None:
+                own_pool.shutdown()
         if self.cache is not None:
             for key, (_, _, seed) in jobs.items():
                 # Only baseline-attempt results (attempt 0's seed and
@@ -523,10 +663,9 @@ class BlockSynthesisExecutor:
             if index in pools_by_index:
                 pools.append(pools_by_index[index])
                 continue
-            key = plan.key if plan.key in resolved else f"{plan.key}#{index}"
-            solutions = resolved.get(key)
+            solutions = resolved.get(plan.key)
             if solutions is None:
-                cause = failures.get(key) or failures.get(plan.key)
+                cause = failures.get(plan.key)
                 reason = (
                     f"{type(cause).__name__ if cause else 'worker failure'}: "
                     f"{cause}"
@@ -559,7 +698,10 @@ class BlockSynthesisExecutor:
                 stats.fallback_blocks.append(index)
                 pools.append(exact_pool(block))
                 continue
-            pool = assemble_pool(block, solutions, config, plan.seed)
+            pool = assemble_pool(
+                block, solutions, config, plan.seed,
+                solution_unitaries=resolved_unitaries.get(plan.key),
+            )
             if self.journal is not None:
                 self.journal.store_pool(index, plan.key, pool)
             pools.append(pool)
@@ -659,15 +801,21 @@ class BlockSynthesisExecutor:
         policy: RetryPolicy,
         base_budget,
         resolved,
+        resolved_unitaries,
         stats: BlockSynthesisStats,
         log: RetryLog,
         failures: dict[str, BaseException],
         on_success,
+        pool_manager: PersistentWorkerPool,
     ) -> list[str]:
-        """Run one attempt round over a process pool.
+        """Run one attempt round over the persistent process pool.
 
-        A fresh pool per round: a worker hung past its timeout still
-        occupies its process, so reusing the pool would starve retries.
+        The pool outlives the round.  A round that observes a hard
+        timeout (the hung worker still occupies its process) or a broken
+        pool (killed worker) marks it unhealthy so the *next* submission
+        gets a fresh pool; healthy pools — including ones whose workers
+        merely raised — are reused across rounds and, in batch mode,
+        across circuits.
         """
         attempt_config = self._attempt_config(config, policy, base_budget, attempt)
         timeout = policy.attempt_budget(self.hard_timeout, attempt)
@@ -677,70 +825,149 @@ class BlockSynthesisExecutor:
         # instead of the bare task; disabled runs keep the smaller pickle
         # and pay nothing.
         observed = tracer.is_enabled or metrics.is_enabled
+        shm = self.shm_transport
+        if shm:
+            from repro.batch.shm import (
+                DEFAULT_MIN_BYTES,
+                decode_payload,
+                shm_synthesis_task,
+            )
+
+            min_bytes = (
+                DEFAULT_MIN_BYTES
+                if self.shm_min_bytes is None
+                else self.shm_min_bytes
+            )
         succeeded: list[str] = []
-        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(round_jobs)))
-        try:
-            futures = {}
-            for key, (index, block, seed) in round_jobs.items():
-                attempt_seed = policy.attempt_seed(seed, attempt)
+        pool_manager.begin_round()
+        futures = {}
+        for key, (index, block, seed) in round_jobs.items():
+            attempt_seed = policy.attempt_seed(seed, attempt)
+            if observed:
+                call = (
+                    _observed_task, task, self.fault_injector,
+                    index, attempt, block, attempt_config, attempt_seed,
+                )
+            elif self.fault_injector is not None:
+                call = (
+                    _faulted_task, task, self.fault_injector,
+                    index, attempt, block, attempt_config, attempt_seed,
+                )
+            else:
+                call = (task, block, attempt_config, attempt_seed)
+            if shm:
+                futures[key] = pool_manager.submit(
+                    shm_synthesis_task, call[0], min_bytes, *call[1:]
+                )
+            else:
+                futures[key] = pool_manager.submit(*call)
+        for key, future in futures.items():
+            index = round_jobs[key][0]
+            unitaries = None
+            try:
+                payload = future.result(timeout=timeout)
+                if shm:
+                    payload, unitaries = decode_payload(payload)
                 if observed:
-                    futures[key] = pool.submit(
-                        _observed_task, task, self.fault_injector,
-                        index, attempt, block, attempt_config, attempt_seed,
-                    )
-                elif self.fault_injector is not None:
-                    futures[key] = pool.submit(
-                        _faulted_task, task, self.fault_injector,
-                        index, attempt, block, attempt_config, attempt_seed,
-                    )
+                    solutions, elapsed, records, snapshot = payload
+                    # Replay before validation: worker-side events
+                    # must land in the trace even when the returned
+                    # candidates are quarantined below.
+                    tracer.replay(records)
+                    metrics.merge(snapshot)
                 else:
-                    futures[key] = pool.submit(
-                        task, block, attempt_config, attempt_seed
+                    solutions, elapsed = payload
+                if self.validate:
+                    validate_solutions(
+                        round_jobs[key][1].unitary(),
+                        solutions,
+                        independent=self.independent_validation,
                     )
-            for key, future in futures.items():
-                index = round_jobs[key][0]
-                try:
-                    payload = future.result(timeout=timeout)
-                    if observed:
-                        solutions, elapsed, records, snapshot = payload
-                        # Replay before validation: worker-side events
-                        # must land in the trace even when the returned
-                        # candidates are quarantined below.
-                        tracer.replay(records)
-                        metrics.merge(snapshot)
-                    else:
-                        solutions, elapsed = payload
-                    if self.validate:
-                        validate_solutions(
-                            round_jobs[key][1].unitary(),
-                            solutions,
-                            independent=self.independent_validation,
-                        )
-                except FutureTimeoutError as exc:
-                    future.cancel()
-                    _note_failure(
-                        log, index, attempt, FAILURE_TIMEOUT,
-                        f"hard timeout after {timeout}s",
-                    )
-                    failures[key] = exc
-                except ValidationError as exc:
-                    _note_failure(
-                        log, index, attempt, FAILURE_VALIDATION, str(exc)
-                    )
-                    failures[key] = exc
-                except Exception as exc:  # worker raised or pool broke
-                    _note_failure(
-                        log, index, attempt, FAILURE_EXCEPTION,
-                        f"{type(exc).__name__}: {exc}",
-                    )
-                    failures[key] = exc
-                else:
-                    resolved[key] = solutions
-                    stats.block_seconds[index] = elapsed
-                    succeeded.append(key)
-                    on_success(key)
-        finally:
-            # Never block the run on a hung worker; timed-out processes
-            # are abandoned rather than awaited.
-            pool.shutdown(wait=False, cancel_futures=True)
+            except FutureTimeoutError as exc:
+                future.cancel()
+                # The hung worker still occupies its process; flag the
+                # pool so the next submission recycles it.
+                pool_manager.mark_unhealthy()
+                if shm:
+                    # Should the abandoned task ever finish, unlink its
+                    # segment instead of leaking it in /dev/shm.
+                    future.add_done_callback(_discard_late_envelope)
+                _note_failure(
+                    log, index, attempt, FAILURE_TIMEOUT,
+                    f"hard timeout after {timeout}s",
+                )
+                failures[key] = exc
+            except BrokenExecutor as exc:  # worker process died
+                pool_manager.mark_unhealthy()
+                _note_failure(
+                    log, index, attempt, FAILURE_EXCEPTION,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                failures[key] = exc
+            except ValidationError as exc:
+                _note_failure(
+                    log, index, attempt, FAILURE_VALIDATION, str(exc)
+                )
+                failures[key] = exc
+            except Exception as exc:  # worker raised
+                _note_failure(
+                    log, index, attempt, FAILURE_EXCEPTION,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                failures[key] = exc
+            else:
+                resolved[key] = solutions
+                if unitaries is not None:
+                    resolved_unitaries[key] = unitaries
+                stats.block_seconds[index] = elapsed
+                succeeded.append(key)
+                on_success(key)
         return succeeded
+
+    def _adopt_joined(
+        self,
+        joined: dict[str, tuple],
+        policy: RetryPolicy,
+        resolved,
+        resolved_unitaries,
+        resolved_attempt,
+        stats: BlockSynthesisStats,
+        finalize,
+    ) -> tuple[list[str], dict[str, tuple[int, CircuitBlock, int]]]:
+        """Adopt results published by other executors' in-flight jobs.
+
+        Returns ``(adopted_keys, leftover_jobs)``.  Leftover jobs are
+        joins whose owner failed (or published nothing usable); the
+        caller re-dispatches them as this executor's own attempt in the
+        same round.
+        """
+        tracer = get_tracer()
+        metrics = get_metrics()
+        if self.hard_timeout is None:
+            timeout = None
+        else:
+            # Generous: the owner may burn through its whole retry
+            # budget before the claim resolves either way.  The owner's
+            # `finally` release guarantees the event fires eventually.
+            timeout = self.hard_timeout * max(policy.max_attempts, 1) + 60.0
+        adopted: list[str] = []
+        leftover: dict[str, tuple[int, CircuitBlock, int]] = {}
+        for key, (entry, job) in joined.items():
+            if entry.wait(timeout):
+                resolved[key] = entry.solutions
+                if entry.unitaries is not None:
+                    resolved_unitaries[key] = entry.unitaries
+                # Published results are baseline by construction, so
+                # they stay cache-writable under the plain entry key.
+                resolved_attempt[key] = 0
+                stats.dedup_joins += 1
+                if tracer.is_enabled:
+                    tracer.event("dedup.adopt", block=job[0])
+                if metrics.is_enabled:
+                    metrics.inc("dedup.hits")
+                adopted.append(key)
+                if self.journal is not None:
+                    finalize(key)
+            else:
+                leftover[key] = job
+        return adopted, leftover

@@ -1,0 +1,119 @@
+"""Shared-memory envelope transport: round-trips, fallbacks, integrity.
+
+Everything here runs in one process — encode plays the worker, decode
+plays the driver.  The cross-process path is exercised end-to-end by
+``tests/test_batch_driver.py`` and the batch throughput benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch.shm import (
+    DEFAULT_MIN_BYTES,
+    ENVELOPE_VERSION,
+    ShmEnvelope,
+    ShmTransportError,
+    decode_payload,
+    discard_envelope,
+    encode_payload,
+    shm_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform lacks POSIX shared memory"
+)
+
+
+def _payload(rng: np.random.Generator, count: int = 3, dim: int = 64):
+    arrays = [
+        rng.standard_normal((dim, dim)) + 1j * rng.standard_normal((dim, dim))
+        for _ in range(count)
+    ]
+    return {"arrays": arrays, "label": "candidates", "count": count}
+
+
+def _attach(name):
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def test_large_payload_rides_shared_memory(rng):
+    payload = _payload(rng)
+    envelope = encode_payload(payload, min_bytes=1)
+    assert envelope.via == "shm"
+    assert envelope.total_bytes >= sum(a.nbytes for a in payload["arrays"])
+    decoded = decode_payload(envelope)
+    assert decoded["label"] == "candidates"
+    for original, roundtripped in zip(payload["arrays"], decoded["arrays"]):
+        assert np.array_equal(original, roundtripped)
+        # The driver must receive ordinary writable arrays, not views
+        # pinned to a (long-gone) mapping.
+        assert roundtripped.flags.writeable
+        roundtripped[0, 0] = 0
+
+
+def test_decode_unlinks_the_segment(rng):
+    envelope = encode_payload(_payload(rng), min_bytes=1)
+    decode_payload(envelope)
+    with pytest.raises((FileNotFoundError, OSError)):
+        _attach(envelope.segment)
+
+
+def test_small_payload_falls_back_to_inline_pickle(rng):
+    payload = _payload(rng, count=1, dim=2)  # far below DEFAULT_MIN_BYTES
+    envelope = encode_payload(payload)
+    assert envelope.via == "pickle"
+    assert envelope.segment is None
+    decoded = decode_payload(envelope)
+    assert np.array_equal(decoded["arrays"][0], payload["arrays"][0])
+
+
+def test_default_threshold_is_sane():
+    assert DEFAULT_MIN_BYTES > 0
+
+
+def test_checksum_tamper_is_detected(rng):
+    envelope = encode_payload(_payload(rng), min_bytes=1)
+    segment = _attach(envelope.segment)
+    try:
+        segment.buf[0] = segment.buf[0] ^ 0xFF
+    finally:
+        segment.close()
+    with pytest.raises(ShmTransportError, match="checksum"):
+        decode_payload(envelope)
+    # Even the failed decode released the segment: no /dev/shm leak.
+    with pytest.raises((FileNotFoundError, OSError)):
+        _attach(envelope.segment)
+
+
+def test_unknown_version_is_rejected():
+    envelope = ShmEnvelope(
+        version=ENVELOPE_VERSION + 1, via="pickle", meta=b"", payload=b""
+    )
+    with pytest.raises(ShmTransportError, match="version"):
+        decode_payload(envelope)
+
+
+def test_unknown_transport_is_rejected():
+    envelope = ShmEnvelope(version=ENVELOPE_VERSION, via="carrier-pigeon", meta=b"")
+    with pytest.raises(ShmTransportError, match="transport"):
+        decode_payload(envelope)
+
+
+def test_non_envelope_payload_passes_through():
+    payload = (["solutions"], 1.25)
+    assert decode_payload(payload) is payload
+
+
+def test_discard_envelope_unlinks_without_decoding(rng):
+    envelope = encode_payload(_payload(rng), min_bytes=1)
+    discard_envelope(envelope)
+    with pytest.raises((FileNotFoundError, OSError)):
+        _attach(envelope.segment)
+    # Idempotent, and safe on inline envelopes / foreign objects.
+    discard_envelope(envelope)
+    discard_envelope(encode_payload({"x": 1}))
+    discard_envelope("not an envelope")

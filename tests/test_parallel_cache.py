@@ -215,6 +215,89 @@ def test_leftover_tmp_files_are_ignored(tmp_path):
     assert PoolCache(tmp_path).get(key) is None
 
 
+# ----------------------------------------------------------------------
+# Size-bounded disk tier (LRU by mtime)
+# ----------------------------------------------------------------------
+def _age(tmp_path, key, mtime):
+    os.utime(tmp_path / f"{key}.qpool", (mtime, mtime))
+
+
+def test_max_entries_must_be_positive(tmp_path):
+    with pytest.raises(ValueError, match="max_entries"):
+        PoolCache(tmp_path, max_entries=0)
+    with pytest.raises(ValueError, match="max_entries"):
+        PoolCache(tmp_path, max_entries=-3)
+
+
+def test_lru_evicts_oldest_by_mtime(tmp_path):
+    cache = PoolCache(tmp_path, max_entries=2)
+    keys = [entry_key("e" * 64, seed) for seed in range(3)]
+    cache.put(keys[0], _solutions())
+    cache.put(keys[1], _solutions())
+    assert cache.evictions == 0
+    # Pin ages so the victim choice is deterministic, then overflow.
+    _age(tmp_path, keys[0], 100)
+    _age(tmp_path, keys[1], 200)
+    cache.put(keys[2], _solutions())
+    assert cache.evictions == 1
+    assert not (tmp_path / f"{keys[0]}.qpool").exists()
+    assert (tmp_path / f"{keys[1]}.qpool").exists()
+    assert (tmp_path / f"{keys[2]}.qpool").exists()
+
+
+def test_lru_hit_refreshes_recency(tmp_path):
+    keys = [entry_key("f" * 64, seed) for seed in range(3)]
+    seeded = PoolCache(tmp_path, max_entries=2)
+    seeded.put(keys[0], _solutions())
+    seeded.put(keys[1], _solutions())
+    _age(tmp_path, keys[0], 100)
+    _age(tmp_path, keys[1], 200)
+    cache = PoolCache(tmp_path, max_entries=2)
+    # The disk hit bumps keys[0]'s mtime, so the *unread* keys[1] is now
+    # the coldest entry and gets evicted by the overflowing put.
+    assert cache.get(keys[0]) is not None
+    cache.put(keys[2], _solutions())
+    assert cache.evictions == 1
+    assert (tmp_path / f"{keys[0]}.qpool").exists()
+    assert not (tmp_path / f"{keys[1]}.qpool").exists()
+
+
+def test_eviction_does_not_touch_memory_tier(tmp_path):
+    """An evicted key this run already cached in memory still hits."""
+    keys = [entry_key("a1" * 32, seed) for seed in range(3)]
+    cache = PoolCache(tmp_path, max_entries=1)
+    for index, key in enumerate(keys):
+        cache.put(key, _solutions())
+        _age(tmp_path, key, 100 + index)
+    on_disk = sorted(path.name for path in tmp_path.glob("*.qpool"))
+    assert on_disk == [f"{keys[2]}.qpool"]
+    assert cache.evictions == 2
+    for key in keys:
+        assert cache.get(key) is not None
+    assert cache.misses == 0
+
+
+def test_unbounded_cache_never_evicts(tmp_path):
+    cache = PoolCache(tmp_path)
+    for seed in range(8):
+        cache.put(entry_key("b2" * 32, seed), _solutions())
+    assert cache.evictions == 0
+    assert len(list(tmp_path.glob("*.qpool"))) == 8
+
+
+def test_bound_survives_across_instances(tmp_path):
+    """A fresh bounded instance over a pre-populated dir enforces the cap
+    on its next store (startup itself does not scan)."""
+    for seed in range(4):
+        PoolCache(tmp_path).put(entry_key("c3" * 32, seed), _solutions())
+    for index, key in enumerate(sorted(p.stem for p in tmp_path.glob("*.qpool"))):
+        _age(tmp_path, key, 100 + index)
+    bounded = PoolCache(tmp_path, max_entries=2)
+    bounded.put(entry_key("c3" * 32, 99), _solutions())
+    assert len(list(tmp_path.glob("*.qpool"))) == 2
+    assert bounded.evictions == 3
+
+
 def test_corrupt_entries_counter(tmp_path):
     """Integrity failures are *counted*; plain misses are not.
 

@@ -167,23 +167,29 @@ def test_blocks_receive_position_pinned_canonical_seeds(monkeypatch):
     drawn = _draw_block_seeds(
         np.random.default_rng(config.seed), len(result.blocks)
     )
-    # Recompute the canonicalization independently: first occurrence of
-    # each content key claims its positional draw for all its repeats.
+    # Recompute the canonicalization independently: the first occurrence
+    # of each content key claims its positional draw and dispatches the
+    # one job that serves every repeat (repeats dedup, even cache-off).
     from repro.parallel.cache import content_key
 
     expected: dict[int, int] = {}
+    nontrivial = 0
     first_by_content: dict[str, int] = {}
     for index, block in enumerate(result.blocks):
         if block.num_qubits == 1 or block.circuit.cnot_count() == 0:
             continue
+        nontrivial += 1
         fingerprint = executor_module.leap_config_for_block(
             block.circuit.cnot_count(), config, seed=None
         ).fingerprint()
         content = content_key(block.unitary(), fingerprint)
-        expected[index] = first_by_content.setdefault(content, drawn[index])
+        if content not in first_by_content:
+            first_by_content[content] = drawn[index]
+            expected[index] = drawn[index]
 
     by_index = dict(received)
     assert by_index == expected
-    # TFIM Trotter steps repeat blocks, so canonicalization must have
-    # actually collapsed some seeds (the test would be vacuous otherwise).
-    assert len(set(expected.values())) < len(expected)
+    # TFIM Trotter steps repeat blocks, so dedup must have actually
+    # collapsed some jobs (the test would be vacuous otherwise).
+    assert len(expected) < nontrivial
+    assert result.dedup_joins == nontrivial - len(expected)

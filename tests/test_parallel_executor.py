@@ -19,7 +19,9 @@ from repro.parallel.executor import (
     BlockSynthesisExecutor,
     _synthesize_solutions_task,
 )
+from repro.parallel.pool_manager import PersistentWorkerPool
 from repro.partition.scan import scan_partition
+from repro.resilience.retry import RetryPolicy
 from repro.transpile.basis import lower_to_basis
 
 CONFIG = QuestConfig(
@@ -95,10 +97,15 @@ def test_partial_failure_only_degrades_the_failing_block():
     )
     with pytest.warns(RuntimeWarning):
         pools, stats = runner.run(blocks, CONFIG, _seeds(blocks))
-    assert stats.fallback_blocks == [0]
+    # Blocks 0 and 1 are content-identical, so they dedup to a single
+    # job (the injected fault is index-keyed, but real synthesis depends
+    # only on content): the failing job degrades exactly the blocks it
+    # serves, and no unrelated block.
+    assert stats.fallback_blocks == [0, 1]
     assert pools[0].size == 1
-    # At least one healthy block still produced real approximations.
-    assert any(pool.size > 1 for pool in pools[1:])
+    assert pools[1].size == 1
+    # The unrelated block still produced real approximations.
+    assert any(pool.size > 1 for pool in pools[2:])
 
 
 def test_timed_out_worker_degrades_to_exact_pool():
@@ -137,6 +144,67 @@ def test_run_quest_completes_despite_universal_worker_failure(monkeypatch):
 
 
 # ----------------------------------------------------------------------
+# Persistent pool reuse / recycling
+# ----------------------------------------------------------------------
+def test_retry_rounds_reuse_one_persistent_pool():
+    """A plain worker exception leaves the pool healthy: the retry round
+    reuses it instead of paying pool construction again."""
+    blocks = _blocks()
+    pool = PersistentWorkerPool(2)
+    runner = BlockSynthesisExecutor(
+        workers=2,
+        synthesize_fn=raises_for_first_block,
+        retry_policy=RetryPolicy(max_attempts=2),
+        worker_pool=pool,
+    )
+    try:
+        with pytest.warns(RuntimeWarning):
+            pools, stats = runner.run(blocks, CONFIG, _seeds(blocks))
+    finally:
+        pool.shutdown()
+    assert stats.fallback_blocks  # the injected failure did exhaust retries
+    assert pool.rounds_served == 2
+    assert pool.pools_created == 1
+    assert pool.recycles == 0
+    assert pool.reuses == 1
+
+
+def test_hard_timeout_recycles_the_persistent_pool():
+    """A hung worker marks the pool unhealthy; the next round gets a
+    fresh pool rather than inheriting the occupied process."""
+    blocks = _blocks()[:1]
+    pool = PersistentWorkerPool(2)
+    runner = BlockSynthesisExecutor(
+        workers=2,
+        hard_timeout=0.3,
+        synthesize_fn=sleeps_forever,
+        retry_policy=RetryPolicy(max_attempts=2),
+        worker_pool=pool,
+    )
+    try:
+        with pytest.warns(RuntimeWarning, match="TimeoutError"):
+            pools, stats = runner.run(blocks, CONFIG, _seeds(blocks))
+    finally:
+        pool.shutdown()
+    assert stats.fallback_blocks == [0]
+    assert pool.rounds_served == 2
+    assert pool.pools_created == 2
+    assert pool.recycles == 1
+
+
+def test_executor_without_external_pool_owns_its_lifecycle():
+    """No shared pool supplied: the executor builds one for the run and
+    shuts it down on exit (no lingering process pools)."""
+    blocks = _blocks()
+    runner = BlockSynthesisExecutor(workers=2, synthesize_fn=always_raises)
+    with pytest.warns(RuntimeWarning):
+        runner.run(blocks, CONFIG, _seeds(blocks))
+    # Nothing to assert on the (internal, already shut down) pool beyond
+    # the run completing; the external-pool tests above cover accounting.
+    assert runner.worker_pool is None
+
+
+# ----------------------------------------------------------------------
 # Accounting
 # ----------------------------------------------------------------------
 def test_timings_total_reconciles_with_per_block_list():
@@ -171,7 +239,10 @@ def test_stats_counters_partition_the_blocks():
         blocks, CONFIG, seeds
     )
     assert stats_nc.cache_hits == 0
-    assert stats_nc.cache_misses == len(blocks) - trivial
+    # With the cache off, repeats dedup to one dispatched job each and
+    # count as dedup joins instead of cache hits.
+    assert stats_nc.cache_misses + stats_nc.dedup_joins == len(blocks) - trivial
+    assert stats_nc.dedup_joins == stats.cache_hits
     # Cache on and off produce identical pools.
     for a, b in zip(pools, pools_nc):
         assert a.cnot_counts().tolist() == b.cnot_counts().tolist()
