@@ -231,6 +231,9 @@ def run_quest_batch(
                 "batch.dedup_joins": batch.dedup_joins,
                 "batch.inflight_joins": batch.inflight_joins,
                 "batch.shm_bytes_saved": batch.shm_bytes_saved,
+                # Must be 0: a nonzero value means a joiner timed out on
+                # an owner that never published, failed, or released.
+                "registry.stranded_joiners": resources.inflight.stranded_joiners,
             },
             "gauges": {"batch.pool_reuses": batch.pool_reuses},
         }

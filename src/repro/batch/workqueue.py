@@ -74,6 +74,10 @@ class InflightRegistry:
         #: Keys resolved through the registry (lifetime counters).
         self.published = 0
         self.joins = 0
+        #: Joiners whose wait timed out with the entry still unresolved
+        #: and unreleased — an owner went missing without its ``finally``
+        #: release firing.  Must stay 0; batch/service suites assert it.
+        self.stranded_joiners = 0
 
     def claim(self, key: str, owner: object) -> InflightEntry | None:
         """Claim ``key`` for ``owner``; ``None`` means the caller owns it.
@@ -126,6 +130,12 @@ class InflightRegistry:
 
         Joiners wake with no result and fall back to their own attempt;
         the key becomes claimable again for the next retry round.
+
+        Idempotent: a second invocation (the owner's ``finally`` release
+        racing an explicit fail during shutdown), a fail after
+        :meth:`publish`, or a fail against a key another owner has since
+        re-claimed are all no-ops — a token can only ever drop entries
+        it still holds.
         """
         with self._lock:
             held = self._entries.get(key)
@@ -139,7 +149,11 @@ class InflightRegistry:
         """Release every unresolved key still claimed by ``owner``.
 
         Called in the executor's ``finally`` so an exception between
-        claim and publish can never strand a joiner.
+        claim and publish can never strand a joiner.  Idempotent for the
+        same reason :meth:`fail` is: the second invocation of a
+        shutdown race finds no entries held by ``owner`` and does
+        nothing, and resolved (published) entries — whose owner slot is
+        cleared — are never dropped.
         """
         with self._lock:
             stale = [
@@ -151,3 +165,26 @@ class InflightRegistry:
                 del self._entries[key]
         for _, entry in stale:
             entry.event.set()
+
+    def wait_for(self, entry: InflightEntry, timeout: float | None) -> bool:
+        """Join ``entry``: block until published/released, with accounting.
+
+        Returns True iff a publishable result landed.  A wait that
+        *times out* with the entry still unresolved means the owner
+        vanished without releasing — the invariant the owner-token
+        ``finally`` exists to prevent — so it is counted in
+        :attr:`stranded_joiners` and mirrored to the ambient metrics as
+        ``registry.stranded_joiners``; test suites assert the counter
+        stays 0.
+        """
+        ok = entry.wait(timeout)
+        if not ok and not entry.event.is_set():
+            with self._lock:
+                self.stranded_joiners += 1
+            metrics = get_metrics()
+            if metrics.is_enabled:
+                metrics.inc("registry.stranded_joiners")
+            tracer = get_tracer()
+            if tracer.is_enabled:
+                tracer.event("dedup.stranded", timeout=timeout)
+        return ok

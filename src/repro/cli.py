@@ -64,6 +64,13 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _nonnegative_float(value: str) -> float:
+    parsed = float(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -190,6 +197,15 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
         "retry attempt (default 1.0 = flat)",
     )
     parser.add_argument(
+        "--retry-backoff",
+        type=_nonnegative_float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base delay of the full-jitter exponential backoff before "
+        "each synthesis retry (default 0 = retry immediately); affects "
+        "wall time only, never results",
+    )
+    parser.add_argument(
         "--inject-faults",
         metavar="SPEC",
         default=None,
@@ -256,6 +272,356 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
         "$REPRO_ARRAY_BACKEND, falling back to numpy); exits 2 if the "
         "requested library is not installed",
     )
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the compilation daemon: accepts compile jobs "
+        "(QASM + config overrides) over a Unix socket, shares one "
+        "worker pool / cache / dedup registry across all jobs, and "
+        "journals every job in a crash-safe ledger so a killed daemon "
+        "warm-restarts and resumes mid-flight jobs bit-identically.",
+    )
+    parser.add_argument(
+        "--socket", type=Path, required=True, help="Unix socket path to bind"
+    )
+    parser.add_argument(
+        "--ledger-dir",
+        type=Path,
+        required=True,
+        help="job ledger directory (atomic job records + per-job "
+        "checkpoints); reuse it across restarts to recover jobs",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=_positive_int,
+        default=64,
+        help="bounded queue size; submits beyond it are rejected with "
+        "a structured queue_full verdict (default 64)",
+    )
+    parser.add_argument(
+        "--max-concurrency",
+        type=_positive_int,
+        default=2,
+        help="jobs compiled concurrently (default 2)",
+    )
+    parser.add_argument(
+        "--tenant-weight",
+        action="append",
+        default=[],
+        metavar="NAME=WEIGHT",
+        help="fair-share weight of a tenant (repeatable; default 1.0 "
+        "each): a weight-2 tenant drains twice as fast under load",
+    )
+    parser.add_argument(
+        "--tenant-quota",
+        action="append",
+        default=[],
+        metavar="NAME=JOBS",
+        help="max queued jobs of a tenant (repeatable; default: the "
+        "full queue capacity)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=_positive_int,
+        default=3,
+        help="consecutive failing/recycling jobs that open the circuit "
+        "breaker and switch to degraded exact-block compiles (default 3)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help="seconds the breaker stays open before probing the full "
+        "path again (default 30)",
+    )
+    # Substrate + default-compile knobs (requests may override the
+    # non-substrate ones per job).
+    parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="default per-block process-distance threshold",
+    )
+    parser.add_argument(
+        "--max-samples", type=int, default=16,
+        help="default max approximations (M)",
+    )
+    parser.add_argument(
+        "--block-qubits", type=int, default=3,
+        help="default max qubits per block",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="default random seed"
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=30.0,
+        help="default per-block synthesis budget in seconds",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="worker processes of the shared pool (1 = inline)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the shared block-synthesis cache",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="persistent disk tier of the shared cache",
+    )
+    parser.add_argument(
+        "--cache-max-entries", type=_positive_int, default=None,
+        help="LRU bound on the --cache-dir disk tier",
+    )
+    parser.add_argument(
+        "--shm-transport", action="store_true",
+        help="ship worker results through shared memory",
+    )
+    parser.add_argument(
+        "--retry-attempts", type=_positive_int, default=2,
+        help="default synthesis attempts per block",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=_nonnegative_float, default=0.0,
+        metavar="SECONDS",
+        help="default full-jitter retry backoff base (0 = immediate)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum level of diagnostics (default info)",
+    )
+    return parser
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit circuits to a running compilation daemon "
+        "and write the returned approximations + claims manifests "
+        "(one subdirectory per input, like compile-batch).",
+    )
+    parser.add_argument(
+        "inputs", type=Path, nargs="+", help="OpenQASM 2.0 circuit files"
+    )
+    parser.add_argument(
+        "--socket", type=Path, required=True, help="daemon Unix socket path"
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=Path("quest_output"),
+        help="directory for the approximation .qasm files",
+    )
+    parser.add_argument(
+        "--tenant", default="default", help="tenant name (default 'default')"
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job deadline; propagated into the pipeline's "
+        "cooperative deadline checks (default: none)",
+    )
+    parser.add_argument(
+        "--config-json",
+        default=None,
+        metavar="JSON",
+        help="QuestConfig overrides as a JSON object, e.g. "
+        "'{\"threshold_per_block\": 0.3}' (substrate fields rejected)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="seconds to wait for each job (default 600)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum level of diagnostics (default info)",
+    )
+    return parser
+
+
+def build_service_status_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro service-status",
+        description="Query a running daemon's health, readiness, queue "
+        "depths, breaker state, and metrics.  Exit 0: ready; 1: up but "
+        "not ready (draining); 2: unreachable.",
+    )
+    parser.add_argument(
+        "--socket", type=Path, required=True, help="daemon Unix socket path"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full status document as JSON",
+    )
+    return parser
+
+
+def _parse_tenant_pairs(pairs: list[str], cast, flag: str, logger):
+    """Parse repeated NAME=VALUE options; returns (dict, exit_code)."""
+    parsed = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            logger.error(f"error: {flag} expects NAME=VALUE, got {pair!r}")
+            return None, 2
+        try:
+            parsed[name] = cast(value)
+        except ValueError as exc:
+            logger.error(f"error: {flag} {pair!r}: {exc}")
+            return None, 2
+    return parsed, 0
+
+
+def _serve_main(argv: list[str]) -> int:
+    from repro.service import serve
+
+    args = build_serve_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    logger = get_logger("cli")
+    weights, code = _parse_tenant_pairs(
+        args.tenant_weight, float, "--tenant-weight", logger
+    )
+    if code:
+        return code
+    quotas, code = _parse_tenant_pairs(
+        args.tenant_quota, int, "--tenant-quota", logger
+    )
+    if code:
+        return code
+    config = QuestConfig(
+        seed=args.seed,
+        max_samples=args.max_samples,
+        max_block_qubits=args.block_qubits,
+        threshold_per_block=args.threshold,
+        block_time_budget=args.time_budget,
+        workers=args.workers,
+        cache=not args.no_cache,
+        cache_dir=None if args.cache_dir is None else str(args.cache_dir),
+        cache_max_entries=args.cache_max_entries,
+        shm_transport=args.shm_transport,
+        retry_attempts=args.retry_attempts,
+        retry_backoff_seconds=args.retry_backoff,
+    )
+    try:
+        serve(
+            str(args.socket),
+            str(args.ledger_dir),
+            config,
+            capacity=args.capacity,
+            max_concurrency=args.max_concurrency,
+            tenant_weights=weights or None,
+            tenant_quotas=quotas or None,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_seconds=args.breaker_cooldown,
+        )
+    except ReproError as exc:
+        logger.error(f"daemon failed: {exc}")
+        return 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _submit_main(argv: list[str]) -> int:
+    from repro.service import ServiceClient
+
+    args = build_submit_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    logger = get_logger("cli")
+    overrides = {}
+    if args.config_json is not None:
+        try:
+            overrides = json.loads(args.config_json)
+        except json.JSONDecodeError as exc:
+            logger.error(f"error: --config-json: {exc}")
+            return 2
+        if not isinstance(overrides, dict):
+            logger.error("error: --config-json must be a JSON object")
+            return 2
+    texts = []
+    for path in args.inputs:
+        try:
+            texts.append(path.read_text())
+        except OSError as exc:
+            logger.error(f"error reading {path}: {exc}")
+            return 2
+    client = ServiceClient(str(args.socket))
+    failures = 0
+    for path, qasm in zip(args.inputs, texts):
+        try:
+            payload = client.submit_and_wait(
+                qasm,
+                config=overrides,
+                tenant=args.tenant,
+                deadline_seconds=args.deadline,
+                timeout=args.timeout,
+            )
+        except ReproError as exc:
+            logger.error(f"{path.name}: {exc}")
+            failures += 1
+            continue
+        degraded = " [DEGRADED: exact reassembly]" if payload["degraded"] else ""
+        logger.info(f"{path.name}: {payload.get('summary', 'done')}{degraded}")
+        out_dir = args.out_dir / path.stem
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for index, (qasm_text, claims) in enumerate(
+            zip(payload["circuits"], payload["claims"])
+        ):
+            (out_dir / f"approx_{index:02d}.qasm").write_text(qasm_text)
+            (out_dir / f"approx_{index:02d}.claims.json").write_text(
+                json.dumps(claims, indent=1) + "\n"
+            )
+            logger.info(
+                f"  {out_dir / f'approx_{index:02d}.qasm'}: "
+                f"{payload['cnot_counts'][index]} CNOTs "
+                f"(baseline {payload['original_cnot_count']})"
+            )
+    return 1 if failures else 0
+
+
+def _service_status_main(argv: list[str]) -> int:
+    from repro.service import ServiceClient
+
+    args = build_service_status_parser().parse_args(argv)
+    client = ServiceClient(str(args.socket))
+    try:
+        status = client.status()
+    except ReproError as exc:
+        print(f"unreachable: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(status, indent=1, default=str))
+    else:
+        breaker = status.get("breaker", {})
+        print(
+            f"ready={status.get('ready')} "
+            f"uptime={status.get('uptime_seconds', 0):.0f}s "
+            f"queue={status.get('queue_depth')}/{status.get('capacity')} "
+            f"active={status.get('active_jobs')}"
+            f"/{status.get('max_concurrency')} "
+            f"breaker={breaker.get('state')} "
+            f"degraded_jobs={status.get('degraded_jobs')} "
+            f"stranded_joiners={status.get('stranded_joiners')}"
+        )
+        for state, count in sorted(status.get("jobs_by_state", {}).items()):
+            print(f"  jobs {state}: {count}")
+        for tenant, info in sorted(status.get("tenants", {}).items()):
+            print(
+                f"  tenant {tenant}: queued={info['queued']} "
+                f"dispatched={info['dispatched']} weight={info['weight']}"
+            )
+        for reason, count in sorted(status.get("rejected", {}).items()):
+            print(f"  rejected {reason}: {count}")
+    return 0 if status.get("ready") else 1
 
 
 def build_trace_summary_parser() -> argparse.ArgumentParser:
@@ -432,6 +798,7 @@ def _config_from_args(args) -> QuestConfig:
         ),
         retry_attempts=args.retry_attempts,
         retry_budget_multiplier=args.retry_budget_multiplier,
+        retry_backoff_seconds=args.retry_backoff,
         certify=args.certify,
         certify_candidates=args.certify_candidates,
         noise_engine=args.noise_engine,
@@ -580,6 +947,12 @@ def main(argv: list[str] | None = None) -> int:
         return _verify_run_main(argv[1:])
     if argv and argv[0] == "compile-batch":
         return _compile_batch_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return _submit_main(argv[1:])
+    if argv and argv[0] == "service-status":
+        return _service_status_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure_logging(args.log_level)
     logger = get_logger("cli")

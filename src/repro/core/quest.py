@@ -108,6 +108,11 @@ class QuestConfig:
     #: Per-attempt growth factor of the block time budget (and hard
     #: timeout) under retries; 1.0 keeps the budget flat.
     retry_budget_multiplier: float = 1.0
+    #: Base delay (seconds) of the full-jitter exponential backoff
+    #: before each retry round; 0.0 (default) re-dispatches immediately.
+    #: Backoff affects wall time only — retry seeds and budgets, and
+    #: therefore results, are identical with it on or off.
+    retry_backoff_seconds: float = 0.0
     #: Health-check candidates from workers/cache/checkpoints (finite,
     #: unitary, distances recompute) and quarantine failures.
     validate_candidates: bool = True
@@ -525,6 +530,7 @@ def _run_pipeline(
             retry_policy=RetryPolicy(
                 max_attempts=config.retry_attempts,
                 budget_multiplier=config.retry_budget_multiplier,
+                backoff_base=config.retry_backoff_seconds,
             ),
             journal=journal,
             fault_injector=fault_injector,

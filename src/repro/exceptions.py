@@ -121,6 +121,50 @@ class CheckpointError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Raised for failures of the compilation service layer.
+
+    Protocol violations, an unreachable daemon, a ledger that cannot be
+    created — conditions where the *service machinery* (not a compile
+    job) is broken.  Job-level failures travel as structured result
+    payloads, never as this exception.
+    """
+
+
+class AdmissionRejected(ServiceError):
+    """Raised client-side when the daemon refuses to admit a job.
+
+    Structured, not stringly: ``reason`` is one of the admission-control
+    verdicts (``queue_full``, ``tenant_quota``, ``shutting_down``,
+    ``invalid_request``, ``deadline_expired``), and the queue context a
+    caller needs for backoff decisions rides along.  Rejection is
+    backpressure working as designed — the queue is bounded, so an
+    overloaded daemon says "no" immediately instead of growing without
+    bound and failing everyone late.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        detail: str = "",
+        *,
+        tenant: str | None = None,
+        queue_depth: int | None = None,
+        capacity: int | None = None,
+        retry_after_seconds: float | None = None,
+    ) -> None:
+        self.reason = reason
+        self.detail = detail
+        self.tenant = tenant
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+        self.retry_after_seconds = retry_after_seconds
+        message = f"admission rejected ({reason})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
 class BlockTimeoutError(ReproError):
     """Raised by the cooperative deadline when a block's budget expires.
 

@@ -62,6 +62,8 @@ from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.pool import (
     BlockPool,
     augment_with_sphere_variants,
@@ -382,6 +384,8 @@ class BlockSynthesisExecutor:
         inflight=None,
         shm_transport: bool = False,
         shm_min_bytes: int | None = None,
+        sleep_fn=None,
+        backoff_rng=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -404,6 +408,13 @@ class BlockSynthesisExecutor:
         #: (:mod:`repro.batch.shm`); ignored on the inline path.
         self.shm_transport = bool(shm_transport)
         self.shm_min_bytes = shm_min_bytes
+        #: Injectable clock sleep for the retry backoff (tests pin the
+        #: schedule under a fake clock); the backoff RNG is separate
+        #: from every synthesis RNG, so jitter cannot perturb results.
+        self._sleep = time.sleep if sleep_fn is None else sleep_fn
+        self._backoff_rng = (
+            np.random.default_rng() if backoff_rng is None else backoff_rng
+        )
 
     def run(
         self,
@@ -571,6 +582,21 @@ class BlockSynthesisExecutor:
                                 block=pending[pending_key][0],
                                 attempt=attempt,
                             )
+                    # Full-jitter backoff before the round re-dispatches
+                    # (one delay per round, not per block: the round's
+                    # jobs fan out together anyway).  Affects wall time
+                    # only; seeds and budgets are untouched.
+                    delay = policy.backoff_seconds(attempt, self._backoff_rng)
+                    if delay > 0:
+                        if tracer.is_enabled:
+                            tracer.event(
+                                "retry.backoff",
+                                attempt=attempt,
+                                seconds=round(delay, 4),
+                            )
+                        if metrics.is_enabled:
+                            metrics.observe("retry.backoff_seconds", delay)
+                        self._sleep(delay)
 
                 # Split this round into jobs we own (we dispatch them)
                 # and jobs another executor has in flight (we join and
@@ -953,7 +979,7 @@ class BlockSynthesisExecutor:
         adopted: list[str] = []
         leftover: dict[str, tuple[int, CircuitBlock, int]] = {}
         for key, (entry, job) in joined.items():
-            if entry.wait(timeout):
+            if self.inflight.wait_for(entry, timeout):
                 resolved[key] = entry.solutions
                 if entry.unitaries is not None:
                     resolved_unitaries[key] = entry.unitaries

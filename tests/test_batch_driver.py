@@ -220,6 +220,81 @@ def test_inflight_release_wakes_unresolved_keeps_resolved():
     assert kept is not None and kept.resolved
 
 
+def test_inflight_fail_is_idempotent_under_double_invocation():
+    """Regression: fail-then-fail (an explicit fail racing the owner's
+    ``finally`` release) must be a no-op, and must never drop an entry
+    another owner has since re-claimed."""
+    registry = InflightRegistry()
+    owner = object()
+    registry.claim("k", owner)
+    registry.fail("k", owner)
+    registry.fail("k", owner)  # double fail: no-op
+    registry.release(owner)    # release after fail: no-op
+    # A new owner re-claims the key...
+    successor = object()
+    assert registry.claim("k", successor) is None
+    # ...and the stale owner's late duplicate fail must not evict it.
+    registry.fail("k", owner)
+    joiner = registry.claim("k", object())
+    assert joiner is not None and not joiner.event.is_set()
+    assert registry.stranded_joiners == 0
+
+
+def test_inflight_fail_after_publish_keeps_the_result():
+    """Regression: publish resolves the entry and clears its owner slot,
+    so a late fail/release from the original owner cannot drop it."""
+    registry = InflightRegistry()
+    owner = object()
+    registry.claim("k", owner)
+    registry.publish("k", owner, ["s"])
+    registry.fail("k", owner)
+    registry.release(owner)
+    adopted = registry.claim("k", object())
+    assert adopted is not None and adopted.resolved
+    assert adopted.solutions == ["s"]
+    assert registry.stranded_joiners == 0
+
+
+def test_inflight_double_release_is_idempotent():
+    registry = InflightRegistry()
+    owner, other = object(), object()
+    registry.claim("k", owner)
+    pending = registry.claim("k", other)
+    registry.release(owner)
+    registry.release(owner)  # second shutdown pass: no-op
+    assert pending.event.is_set() and not pending.ok
+    assert registry.claim("k", other) is None
+    assert registry.stranded_joiners == 0
+
+
+def test_wait_for_counts_stranded_joiners():
+    """A join that times out on an unresolved, unreleased entry is the
+    invariant violation the counter exists to surface."""
+    registry = InflightRegistry()
+    owner, other = object(), object()
+    registry.claim("k", owner)
+    entry = registry.claim("k", other)
+    # Owner vanishes without publish/fail/release: the joiner strands.
+    assert registry.wait_for(entry, timeout=0.01) is False
+    assert registry.stranded_joiners == 1
+    # A released entry is not stranded: the wait finished, just empty.
+    registry.release(owner)
+    assert registry.wait_for(entry, timeout=0.01) is False
+    assert registry.stranded_joiners == 1
+
+
+def test_batch_metrics_surface_zero_stranded_joiners(solo_reference):
+    """Every batch run exports registry.stranded_joiners — and it is 0."""
+    config = QuestConfig(**FAST, workers=1, cache=True)
+    batch = run_quest_batch(
+        [tfim(4, steps=2), tfim(4, steps=2)], config, window=2
+    )
+    counters = batch.metrics["counters"]
+    assert counters["registry.stranded_joiners"] == 0
+    for got in batch.results:
+        assert _signature(got) == _signature(solo_reference[0])
+
+
 # ----------------------------------------------------------------------
 # PersistentWorkerPool unit behaviour
 # ----------------------------------------------------------------------
