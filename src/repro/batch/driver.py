@@ -160,9 +160,10 @@ def run_quest_batch(
     cache = None
     if config.cache:
         cache = PoolCache(
-            config.cache_dir,
+            config.store_dir or config.cache_dir,
             fault_injector=fault_injector,
             max_entries=config.cache_max_entries,
+            namespace=config.namespace,
         )
     worker_pool = (
         PersistentWorkerPool(config.workers) if config.workers > 1 else None

@@ -33,7 +33,7 @@ from pathlib import Path
 
 from repro.circuits import circuit_from_qasm, circuit_to_qasm
 from repro.core import QuestConfig, run_quest
-from repro.exceptions import ArrayBackendError, ReproError
+from repro.exceptions import ArrayBackendError, ReproError, StoreError
 from repro.linalg.array_api import BACKEND_NAMES, get_backend
 from repro.noise import NOISE_ENGINES
 from repro.observability import (
@@ -156,8 +156,23 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
         "--cache-max-entries",
         type=_positive_int,
         default=None,
-        help="bound the --cache-dir disk tier to this many entries, "
+        help="bound the disk tier to this many entries per namespace, "
         "evicting least-recently-used files (default: unbounded)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        help="root of the sharded multi-tenant artifact store "
+        "(supersedes --cache-dir when both are given); several "
+        "runs/daemon replicas may share one store root and reuse each "
+        "other's published synthesis results",
+    )
+    parser.add_argument(
+        "--namespace",
+        default="default",
+        help="tenant namespace inside the artifact store; entries of "
+        "different namespaces never mix (default 'default')",
     )
     parser.add_argument(
         "--shm-transport",
@@ -371,7 +386,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--cache-max-entries", type=_positive_int, default=None,
-        help="LRU bound on the --cache-dir disk tier",
+        help="LRU bound on the disk tier, per namespace",
+    )
+    parser.add_argument(
+        "--store-dir", type=Path, default=None,
+        help="sharded artifact-store root shared by daemon replicas; "
+        "takes precedence over --cache-dir",
+    )
+    parser.add_argument(
+        "--namespace", default="default",
+        help="store namespace for jobs whose submit carries neither a "
+        "namespace nor a tenant-derived one (default 'default')",
     )
     parser.add_argument(
         "--shm-transport", action="store_true",
@@ -416,6 +441,12 @@ def build_submit_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--tenant", default="default", help="tenant name (default 'default')"
+    )
+    parser.add_argument(
+        "--namespace",
+        default=None,
+        help="artifact-store namespace for the jobs' cache traffic "
+        "(default: derived from the tenant name)",
     )
     parser.add_argument(
         "--deadline",
@@ -497,6 +528,13 @@ def _serve_main(argv: list[str]) -> int:
     )
     if code:
         return code
+    from repro.store import validate_namespace
+
+    try:
+        validate_namespace(args.namespace)
+    except StoreError as exc:
+        logger.error(f"error: --namespace: {exc}")
+        return 2
     config = QuestConfig(
         seed=args.seed,
         max_samples=args.max_samples,
@@ -507,6 +545,8 @@ def _serve_main(argv: list[str]) -> int:
         cache=not args.no_cache,
         cache_dir=None if args.cache_dir is None else str(args.cache_dir),
         cache_max_entries=args.cache_max_entries,
+        store_dir=None if args.store_dir is None else str(args.store_dir),
+        namespace=args.namespace,
         shm_transport=args.shm_transport,
         retry_attempts=args.retry_attempts,
         retry_backoff_seconds=args.retry_backoff,
@@ -562,6 +602,7 @@ def _submit_main(argv: list[str]) -> int:
                 qasm,
                 config=overrides,
                 tenant=args.tenant,
+                namespace=args.namespace,
                 deadline_seconds=args.deadline,
                 timeout=args.timeout,
             )
@@ -621,6 +662,15 @@ def _service_status_main(argv: list[str]) -> int:
             )
         for reason, count in sorted(status.get("rejected", {}).items()):
             print(f"  rejected {reason}: {count}")
+        store = status.get("store", {})
+        for namespace, info in sorted(store.get("namespaces", {}).items()):
+            print(
+                f"  store {namespace}: hits={info.get('hits', 0)} "
+                f"misses={info.get('misses', 0)} "
+                f"disk_hits={info.get('disk_hits', 0)} "
+                f"evictions={info.get('evictions', 0)} "
+                f"corrupt={info.get('corrupt_entries', 0)}"
+            )
     return 0 if status.get("ready") else 1
 
 
@@ -792,6 +842,8 @@ def _config_from_args(args) -> QuestConfig:
         cache=not args.no_cache,
         cache_dir=None if args.cache_dir is None else str(args.cache_dir),
         cache_max_entries=args.cache_max_entries,
+        store_dir=None if args.store_dir is None else str(args.store_dir),
+        namespace=args.namespace,
         shm_transport=args.shm_transport,
         checkpoint_dir=(
             None if args.checkpoint_dir is None else str(args.checkpoint_dir)
@@ -808,12 +860,22 @@ def _config_from_args(args) -> QuestConfig:
 
 def _compile_preflight(args, logger) -> int:
     """Shared argument validation; returns 0 or the exit code."""
-    if args.cache_dir is not None and not args.no_cache:
-        try:
-            args.cache_dir.mkdir(parents=True, exist_ok=True)
-        except OSError as exc:
-            logger.error(f"error: cache dir {args.cache_dir}: {exc}")
-            return 2
+    from repro.store import validate_namespace
+
+    try:
+        validate_namespace(args.namespace)
+    except StoreError as exc:
+        logger.error(f"error: --namespace: {exc}")
+        return 2
+    for flag, directory in (
+        ("cache", args.cache_dir), ("store", args.store_dir)
+    ):
+        if directory is not None and not args.no_cache:
+            try:
+                directory.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                logger.error(f"error: {flag} dir {directory}: {exc}")
+                return 2
     if args.resume and args.checkpoint_dir is None:
         logger.error("error: --resume requires --checkpoint-dir")
         return 2

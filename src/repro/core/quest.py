@@ -87,8 +87,17 @@ class QuestConfig:
     #: ignored when ``cache`` is False).
     cache_dir: str | None = None
     #: Size bound on the disk cache tier (entries, LRU-evicted by mtime;
-    #: None = unbounded).  Only meaningful with ``cache_dir``.
+    #: None = unbounded).  Only meaningful with ``cache_dir``/``store_dir``;
+    #: applied per namespace.
     cache_max_entries: int | None = None
+    #: Root of the sharded multi-tenant artifact store
+    #: (:class:`repro.store.ArtifactStore`).  Takes precedence over
+    #: ``cache_dir`` when both are set; several daemon replicas may
+    #: point at one store root and share published synthesis results.
+    store_dir: str | None = None
+    #: Tenant namespace inside the artifact store; entries of different
+    #: namespaces never mix even when their content keys collide.
+    namespace: str = "default"
     #: Ship candidate arrays from workers through checksummed
     #: shared-memory envelopes instead of the result pipe (workers > 1
     #: only; falls back to pickle where shared memory is unavailable).
@@ -514,9 +523,10 @@ def _run_pipeline(
             cache = getattr(shared, "cache", None)
             if cache is None:
                 cache = PoolCache(
-                    config.cache_dir,
+                    config.store_dir or config.cache_dir,
                     fault_injector=fault_injector,
                     max_entries=config.cache_max_entries,
+                    namespace=config.namespace,
                 )
         executor = BlockSynthesisExecutor(
             workers=config.workers,

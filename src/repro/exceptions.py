@@ -111,6 +111,16 @@ class CertificationError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """Raised for artifact-store misuse (see :mod:`repro.store`).
+
+    Structural problems only — an invalid namespace, an unusable root
+    directory.  I/O races and integrity failures are *not* errors: a
+    vanished or corrupt entry is a miss that costs a recomputation,
+    never an exception.
+    """
+
+
 class CheckpointError(ReproError):
     """Raised when a run journal cannot be created or resumed.
 

@@ -17,18 +17,18 @@ synthesis produced, addressed by content:
   stored entry must too; the executor canonicalizes seeds per content key
   (first occurrence wins) so that repeats within a run share an entry.
 
-Entries live in memory for the duration of a run and, when ``cache_dir``
-is given, in one file per entry on disk.  Disk entries are a pickled
+Entries live in memory for the duration of a run and, when a store (or
+``cache_dir``) is given, in the sharded multi-tenant
+:class:`~repro.store.ArtifactStore` — one file per entry under
+``<root>/<namespace>/<shard>/<key>.qpool``.  Disk entries are a pickled
 envelope carrying a format version, the key, and a SHA-256 checksum of
 the payload; anything that fails to load, fails the checksum, or carries
 the wrong version/key is treated as a miss and recomputed — a corrupt or
-partially-written file can cost time, never correctness.
-
-The disk tier can be size-bounded (``max_entries``): after every store
-the oldest entries by mtime are evicted until the bound holds, and hits
-refresh their entry's mtime, making the policy LRU.  Eviction can only
-ever cost a future recomputation, so a concurrent writer racing an
-eviction is benign.
+partially-written file can cost time, never correctness.  The store
+owns all cross-process concerns (atomic publish with writer-unique temp
+files, crash-orphan sweeps, per-namespace LRU quotas with an mtime
+grace window), so N daemon replicas can share one store root and dedupe
+synthesis across replicas.
 """
 
 from __future__ import annotations
@@ -42,6 +42,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.observability import get_metrics, get_tracer
+from repro.store import DEFAULT_NAMESPACE, ArtifactStore
 from repro.synthesis.leap import SynthesisSolution
 
 #: Bump when the entry payload layout changes; old files become misses.
@@ -94,11 +95,12 @@ def entry_key(content: str, seed: int) -> str:
 
 
 class PoolCache:
-    """Two-tier (memory + optional disk) store of synthesis solutions.
+    """Two-tier (memory + optional sharded store) cache of solutions.
 
     ``hits``/``misses`` count :meth:`get` probes for the lifetime of the
     instance; :func:`repro.core.quest.run_quest` creates one instance per
-    run, so the counters it reports are per-run.
+    run, so the counters it reports are per-run.  The disk tier's own
+    counters (raw loads, publishes, evictions) live on :attr:`store`.
     """
 
     def __init__(
@@ -106,23 +108,35 @@ class PoolCache:
         cache_dir: str | os.PathLike | None = None,
         fault_injector=None,
         max_entries: int | None = None,
+        *,
+        namespace: str = DEFAULT_NAMESPACE,
+        store: ArtifactStore | None = None,
+        grace_seconds: float | None = None,
     ) -> None:
-        if max_entries is not None and max_entries < 1:
+        if store is not None and cache_dir is not None:
+            raise ValueError("pass either cache_dir or store, not both")
+        if store is None and max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._memory: dict[str, list[SynthesisSolution]] = {}
-        self._dir: Path | None = None
-        if cache_dir is not None:
-            self._dir = Path(cache_dir)
-            self._dir.mkdir(parents=True, exist_ok=True)
-        #: Disk-tier entry bound (None = unbounded); LRU by mtime.
-        self.max_entries = max_entries
-        # Several executors may share one cache in batch mode; the lock
-        # covers the memory dict and the evict scan.
+        #: The sharded disk tier (None = memory only).  Either adopted
+        #: from the caller (service replicas share per-tenant stores) or
+        #: built over ``cache_dir``.
+        self.store = store
+        if store is None and cache_dir is not None:
+            kwargs = {}
+            if grace_seconds is not None:
+                kwargs["grace_seconds"] = grace_seconds
+            self.store = ArtifactStore(
+                cache_dir,
+                namespace=namespace,
+                max_entries=max_entries,
+                **kwargs,
+            )
+        # Several executors may share one cache in batch/service mode;
+        # the lock covers the memory dict and every counter.
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
-        #: Disk entries evicted to honour ``max_entries``.
-        self.evictions = 0
         #: Disk entries that existed but failed an integrity check
         #: (checksum, key, payload type, or unpicklable bytes).  Stale
         #: format versions and missing files are plain misses, not
@@ -134,8 +148,24 @@ class PoolCache:
 
     @property
     def cache_dir(self) -> Path | None:
-        """The on-disk tier's directory (None = memory only)."""
-        return self._dir
+        """The on-disk tier's root directory (None = memory only)."""
+        return None if self.store is None else self.store.root
+
+    @property
+    def namespace(self) -> str:
+        """The tenant namespace of the disk tier (default namespace
+        when the cache is memory only)."""
+        return DEFAULT_NAMESPACE if self.store is None else self.store.namespace
+
+    @property
+    def max_entries(self) -> int | None:
+        """Disk-tier entry quota (None = unbounded or memory only)."""
+        return None if self.store is None else self.store.max_entries
+
+    @property
+    def evictions(self) -> int:
+        """Disk entries evicted to honour the store quota."""
+        return 0 if self.store is None else self.store.evictions
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -144,7 +174,7 @@ class PoolCache:
         """Return the stored solutions for ``key``, or None on a miss."""
         with self._lock:
             solutions = self._memory.get(key)
-        if solutions is None and self._dir is not None:
+        if solutions is None and self.store is not None:
             solutions = self._load_disk(key)
             if solutions is not None:
                 with self._lock:
@@ -155,31 +185,22 @@ class PoolCache:
             return None
         with self._lock:
             self.hits += 1
-        if self._dir is not None:
+        if self.store is not None:
             # LRU refresh: a hit keeps the backing disk entry young so
             # eviction targets genuinely cold keys.
-            try:
-                os.utime(self._path(key))
-            except OSError:
-                pass
+            self.store.touch(key)
         return solutions
 
     def put(self, key: str, solutions: list[SynthesisSolution]) -> None:
         """Store ``solutions`` under ``key`` (memory, and disk if enabled)."""
         with self._lock:
             self._memory[key] = list(solutions)
-        if self._dir is not None:
+        if self.store is not None:
             self._store_disk(key, solutions)
-            if self.max_entries is not None:
-                self._evict_lru()
 
     # ------------------------------------------------------------------
     # Disk tier
     # ------------------------------------------------------------------
-    def _path(self, key: str) -> Path:
-        assert self._dir is not None
-        return self._dir / f"{key}.qpool"
-
     def _store_disk(self, key: str, solutions: list[SynthesisSolution]) -> None:
         payload = pickle.dumps(list(solutions), protocol=pickle.HIGHEST_PROTOCOL)
         envelope = {
@@ -188,62 +209,18 @@ class PoolCache:
             "checksum": hashlib.sha256(payload).hexdigest(),
             "payload": payload,
         }
-        path = self._path(key)
-        # Atomic publish: a reader never observes a half-written entry
-        # under its final name.
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
-            os.replace(tmp, path)
-        except OSError:
-            # Disk tier is best-effort; the in-memory entry still serves
-            # this run.
-            tmp.unlink(missing_ok=True)
+        blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        # The store owns atomicity (writer-unique temp file + rename)
+        # and quota eviction; False means the disk tier is best-effort
+        # unavailable and the in-memory entry still serves this run.
+        if not self.store.publish(key, blob):
             return
         if self.fault_injector is not None:
-            self.fault_injector.on_cache_write(path)
-
-    def _evict_lru(self) -> None:
-        """Drop oldest-by-mtime disk entries until ``max_entries`` holds.
-
-        Only the disk tier is bounded — the memory tier is per-run and
-        already deduplicated.  Losing a race with a concurrent writer
-        (an entry vanishing mid-scan) is benign: eviction can only cost
-        a future recomputation, never correctness.
-        """
-        assert self._dir is not None and self.max_entries is not None
-        with self._lock:
-            entries: list[tuple[float, Path]] = []
-            for path in self._dir.glob("*.qpool"):
-                try:
-                    entries.append((path.stat().st_mtime, path))
-                except OSError:
-                    continue  # Evicted or replaced under us: skip.
-            excess = len(entries) - self.max_entries
-            if excess <= 0:
-                return
-            entries.sort(key=lambda item: (item[0], item[1].name))
-            evicted = 0
-            for _, path in entries[:excess]:
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
-                evicted += 1
-            self.evictions += evicted
-        if evicted:
-            tracer = get_tracer()
-            if tracer.is_enabled:
-                tracer.event("cache.evict", count=evicted)
-            metrics = get_metrics()
-            if metrics.is_enabled:
-                metrics.inc("cache.evictions", evicted)
+            self.fault_injector.on_cache_write(self.store.path_for(key))
 
     def _load_disk(self, key: str) -> list[SynthesisSolution] | None:
-        path = self._path(key)
-        try:
-            raw = path.read_bytes()
-        except OSError:
+        raw = self.store.load(key)
+        if raw is None:
             return None  # Missing (or unreadable) file: a plain miss.
         try:
             envelope = pickle.loads(raw)
@@ -275,9 +252,11 @@ class PoolCache:
             ImportError,
             IndexError,
         ):
-            # Corrupt entry: count it and recompute.  The next put()
-            # overwrites the bad file.
-            self.corrupt_entries += 1
+            # Corrupt entry: count it (under the lock — batch/service
+            # substrates probe one cache from many threads) and
+            # recompute.  The next put() overwrites the bad file.
+            with self._lock:
+                self.corrupt_entries += 1
             tracer = get_tracer()
             if tracer.is_enabled:
                 tracer.event("cache.corrupt_entry", key=key)

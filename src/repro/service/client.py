@@ -95,25 +95,29 @@ class ServiceClient:
         *,
         config: dict | None = None,
         tenant: str = "default",
+        namespace: str | None = None,
         deadline_seconds: float | None = None,
         timeout: float | None = 30.0,
     ) -> str:
         """Submit one compile job; returns its job id.
 
+        ``namespace`` pins the artifact-store namespace the job's cache
+        traffic is scoped to (default: derived from ``tenant``).
+
         Raises :class:`AdmissionRejected` (structured) when the daemon
         refuses the job, :class:`ServiceError` on transport problems.
         """
-        response = self._request(
-            {
-                "type": "submit",
-                "version": PROTOCOL_VERSION,
-                "qasm": qasm,
-                "config": config or {},
-                "tenant": tenant,
-                "deadline_seconds": deadline_seconds,
-            },
-            timeout,
-        )
+        message = {
+            "type": "submit",
+            "version": PROTOCOL_VERSION,
+            "qasm": qasm,
+            "config": config or {},
+            "tenant": tenant,
+            "deadline_seconds": deadline_seconds,
+        }
+        if namespace is not None:
+            message["namespace"] = namespace
+        response = self._request(message, timeout)
         if response["type"] != "accepted":
             raise ServiceError(
                 f"unexpected submit reply type {response['type']!r}"
@@ -156,6 +160,7 @@ class ServiceClient:
         *,
         config: dict | None = None,
         tenant: str = "default",
+        namespace: str | None = None,
         deadline_seconds: float | None = None,
         timeout: float | None = None,
     ) -> dict:
@@ -169,6 +174,7 @@ class ServiceClient:
             qasm,
             config=config,
             tenant=tenant,
+            namespace=namespace,
             deadline_seconds=deadline_seconds,
         )
         reply = self.wait(job_id, timeout=timeout)

@@ -60,15 +60,20 @@ REJECTION_REASONS = (
 )
 
 #: QuestConfig knobs a request may *not* override: they configure the
-#: shared substrate (one pool, one cache, one registry for the whole
-#: daemon) or are service-managed (per-job checkpoint dirs).  Allowing
-#: them per-request would silently fork the substrate under one tenant.
+#: shared substrate (one pool, one store root, one registry for the
+#: whole daemon) or are service-managed (per-job checkpoint dirs; the
+#: store ``namespace``, which is set by the request's top-level
+#: ``namespace``/``tenant`` fields, never through config overrides).
+#: Allowing them per-request would silently fork the substrate under
+#: one tenant.
 SUBSTRATE_FIELDS = frozenset(
     {
         "workers",
         "cache",
         "cache_dir",
         "cache_max_entries",
+        "store_dir",
+        "namespace",
         "shm_transport",
         "shm_min_bytes",
         "checkpoint_dir",
@@ -118,6 +123,11 @@ class JobRecord:
     qasm: str
     #: Request-level QuestConfig overrides (already validated).
     config_overrides: dict = field(default_factory=dict)
+    #: Artifact-store namespace the job's cache traffic is scoped to.
+    #: Empty means "derive from the tenant" (see
+    #: :func:`repro.store.namespace_for_tenant`); persisted so a warm
+    #: restart re-runs the job in the same namespace.
+    namespace: str = ""
     state: str = JOB_PENDING
     #: Wall-clock epoch seconds of submission (for latency accounting).
     submitted_at: float = 0.0

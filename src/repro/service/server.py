@@ -44,6 +44,7 @@ import asyncio
 import contextlib
 import os
 import signal
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -82,6 +83,7 @@ from repro.service.protocol import (
     rejection_to_message,
 )
 from repro.service.scheduler import FairScheduler
+from repro.store import StoreError, namespace_for_tenant, validate_namespace
 from repro.transpile.basis import lower_to_basis
 from repro.verify.certifier import claims_for_choice, claims_to_manifest
 
@@ -165,20 +167,24 @@ class QuestService:
         self.fault_injector = fault_injector
         self.metrics = MetricsRegistry()
 
-        # The shared substrate — one of each, for the daemon's lifetime.
-        cache = None
-        if self.config.cache:
-            cache = PoolCache(
-                self.config.cache_dir,
-                max_entries=self.config.cache_max_entries,
-            )
+        # The shared substrate — one worker pool and one in-flight
+        # registry for the daemon's lifetime, plus one PoolCache *per
+        # tenant namespace*, all rooted in one sharded artifact store
+        # that any number of replicas may share.
+        self._store_root = self.config.store_dir or self.config.cache_dir
+        self._caches: dict[str, PoolCache] = {}
+        self._caches_lock = threading.Lock()
         worker_pool = (
             PersistentWorkerPool(self.config.workers)
             if self.config.workers > 1
             else None
         )
         self.resources = BatchResources(
-            cache=cache,
+            cache=(
+                self._cache_for(self.config.namespace)
+                if self.config.cache
+                else None
+            ),
             worker_pool=worker_pool,
             inflight=InflightRegistry(),
         )
@@ -200,6 +206,40 @@ class QuestService:
         )
 
         self._recover_ledger()
+
+    # ------------------------------------------------------------------
+    # Tenant namespaces
+    # ------------------------------------------------------------------
+    def _cache_for(self, namespace: str) -> PoolCache:
+        """The (lazily created) pool cache of one tenant namespace.
+
+        Every namespace gets its own memory tier and its own
+        per-namespace quota inside the shared store root, so tenants
+        never observe each other's artifacts and one tenant's traffic
+        cannot evict another's.
+        """
+        with self._caches_lock:
+            cache = self._caches.get(namespace)
+            if cache is None:
+                cache = PoolCache(
+                    self._store_root,
+                    max_entries=self.config.cache_max_entries,
+                    namespace=namespace,
+                )
+                self._caches[namespace] = cache
+            return cache
+
+    def _resources_for(self, record: JobRecord) -> BatchResources:
+        """The substrate view a job runs on: shared pool + registry,
+        tenant-scoped cache."""
+        if not self.config.cache:
+            return self.resources
+        namespace = record.namespace or namespace_for_tenant(record.tenant)
+        return BatchResources(
+            cache=self._cache_for(namespace),
+            worker_pool=self.resources.worker_pool,
+            inflight=self.resources.inflight,
+        )
 
     # ------------------------------------------------------------------
     # Warm restart
@@ -439,7 +479,7 @@ class QuestService:
                     ),
                     resume=True,
                     fault_injector=self.fault_injector,
-                    shared=self.resources,
+                    shared=self._resources_for(record),
                 )
         except BlockTimeoutError as exc:
             self.breaker.record_failure()
@@ -567,6 +607,17 @@ class QuestService:
                 REJECT_INVALID_REQUEST, "submit needs a non-empty 'qasm'",
             ))
         tenant = str(message.get("tenant") or "default")
+        namespace = message.get("namespace")
+        if namespace is None:
+            namespace = namespace_for_tenant(tenant)
+        else:
+            try:
+                namespace = validate_namespace(str(namespace))
+            except StoreError as exc:
+                self.metrics.inc("service.rejected_invalid")
+                return rejection_to_message(AdmissionRejected(
+                    REJECT_INVALID_REQUEST, str(exc), tenant=tenant,
+                ))
         overrides = message.get("config") or {}
         try:
             merge_config(self.config, overrides)
@@ -593,6 +644,7 @@ class QuestService:
             tenant=tenant,
             qasm=qasm,
             config_overrides=dict(overrides),
+            namespace=namespace,
             submitted_at=self._clock(),
             deadline_at=deadline_at,
         )
@@ -646,6 +698,34 @@ class QuestService:
             "error": record.error,
         }
 
+    def _store_status(self) -> dict:
+        """Per-namespace cache/store counters for ``service-status``.
+
+        ``hits``/``misses``/``corrupt_entries`` are cache-level (memory
+        + disk probes); ``disk_hits``/``disk_misses``/``evictions``/
+        ``publishes`` are the sharded store tier alone, so a nonzero
+        ``disk_hits`` on a freshly started replica means entries
+        published by *another* replica were served from the shared root.
+        """
+        with self._caches_lock:
+            caches = dict(self._caches)
+        report: dict[str, dict] = {}
+        for namespace, cache in sorted(caches.items()):
+            entry = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "corrupt_entries": cache.corrupt_entries,
+                "evictions": cache.evictions,
+            }
+            if cache.store is not None:
+                store_counters = cache.store.counters()
+                entry["disk_hits"] = store_counters["hits"]
+                entry["disk_misses"] = store_counters["misses"]
+                entry["publishes"] = store_counters["publishes"]
+                entry["orphans_swept"] = store_counters["orphans_swept"]
+            report[namespace] = entry
+        return report
+
     def _handle_status(self) -> dict:
         jobs_by_state: dict[str, int] = {}
         for record in self._jobs.values():
@@ -674,6 +754,13 @@ class QuestService:
                 "corrupt_entries": self.ledger.corrupt_entries,
             },
             "stranded_joiners": self.resources.inflight.stranded_joiners,
+            "store": {
+                "root": (
+                    None if self._store_root is None
+                    else str(self._store_root)
+                ),
+                "namespaces": self._store_status(),
+            },
             "metrics": self.metrics.snapshot(),
         }
 

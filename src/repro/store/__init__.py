@@ -1,0 +1,27 @@
+"""Sharded multi-tenant artifact store (the cache's disk tier)."""
+
+from repro.exceptions import StoreError
+from repro.store.artifact import (
+    DEFAULT_GRACE_SECONDS,
+    DEFAULT_NAMESPACE,
+    ENTRY_SUFFIX,
+    SHARD_CHARS,
+    TMP_SUFFIX,
+    ArtifactStore,
+    namespace_for_tenant,
+    shard_of,
+    validate_namespace,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_GRACE_SECONDS",
+    "DEFAULT_NAMESPACE",
+    "ENTRY_SUFFIX",
+    "SHARD_CHARS",
+    "StoreError",
+    "TMP_SUFFIX",
+    "namespace_for_tenant",
+    "shard_of",
+    "validate_namespace",
+]

@@ -1,0 +1,422 @@
+"""Sharded, multi-tenant, multi-process artifact store.
+
+One :class:`ArtifactStore` manages the on-disk tier that several daemon
+replicas (and every thread inside each of them) can share.  It subsumes
+what used to be the flat ``PoolCache`` disk directory, with three
+structural upgrades:
+
+**Sharding.**  Entries live under prefix directories derived from the
+entry key — ``<root>/<namespace>/<shard>/<key>.qpool`` where ``shard``
+is the first :data:`SHARD_CHARS` hex characters of the key.  Keys are
+SHA-256 digests, so entries spread uniformly over at most 256 shards and
+any maintenance scan (eviction, orphan sweep) touches one small
+directory instead of the whole tier.
+
+**Namespaces.**  Every store instance is bound to one *namespace* (for
+the compilation service: the tenant), which scopes both the directory
+tree and the per-namespace quota.  Two tenants never observe each
+other's artifacts even when their circuits hash identically, and one
+tenant filling its quota cannot evict another tenant's entries.
+:func:`namespace_for_tenant` derives a filesystem-safe namespace from an
+arbitrary tenant string.
+
+**Cross-process safety.**  N replicas sharing one root is the supported
+deployment, so every mutation tolerates concurrent mutators in other
+processes:
+
+* *Publish* writes to a :func:`tempfile.mkstemp` file inside the target
+  shard (unique per writer — two threads of one process, or two
+  processes, can publish the same key simultaneously without clobbering
+  each other's temp file) and ``os.replace``\\ s it into place, so a
+  reader only ever observes a complete entry under its final name.
+* *Open* sweeps crash orphans: temp files older than the grace window
+  were abandoned by a writer that died mid-publish and are deleted;
+  younger ones may belong to a live writer and are left alone.
+* *Eviction* is guarded by mtime: an entry younger than
+  ``grace_seconds`` is never deleted, so a concurrent publisher or
+  LRU-refreshing reader in another replica cannot have its entry
+  evicted out from under it in the instant it is created or touched.
+  Losing any other race (an entry vanishing mid-scan) costs a future
+  recomputation, never correctness.
+
+Eviction approximates a *global* LRU while scanning only one shard at a
+time: the store keeps a per-shard ``(count, oldest mtime)`` table (built
+once per process, then maintained incrementally), picks the shard whose
+oldest entry is globally oldest, and scans just that shard.  All file
+I/O happens outside the store lock — the lock only guards counters and
+the shard table — so concurrent readers never stall behind an eviction
+scan.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import re
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.exceptions import StoreError
+from repro.observability import get_metrics, get_tracer
+
+#: Namespace used when none is given (solo runs, un-tenanted clients).
+DEFAULT_NAMESPACE = "default"
+
+#: Hex characters of the entry key that name the shard directory.
+SHARD_CHARS = 2
+
+#: Entries (and orphaned temp files) younger than this are never
+#: evicted/swept: a concurrent writer in another process may still be
+#: publishing or refreshing them.
+DEFAULT_GRACE_SECONDS = 60.0
+
+#: Final-name suffix of a published entry.
+ENTRY_SUFFIX = ".qpool"
+
+#: Suffix of in-flight (not yet renamed) publish temp files.
+TMP_SUFFIX = ".tmp"
+
+_NAMESPACE_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def validate_namespace(namespace: str) -> str:
+    """Return ``namespace`` if it is a safe single path component.
+
+    Namespaces become directory names shared by multiple processes, so
+    they must be non-empty, at most 64 characters, start with an
+    alphanumeric, and contain only ``[A-Za-z0-9._-]`` — which also rules
+    out ``.``/``..`` and path separators.  Raises :class:`StoreError`
+    otherwise.
+    """
+    if not isinstance(namespace, str) or not _NAMESPACE_RE.match(namespace):
+        raise StoreError(
+            f"invalid store namespace {namespace!r}: must match "
+            "[A-Za-z0-9][A-Za-z0-9._-]{0,63}"
+        )
+    return namespace
+
+
+def namespace_for_tenant(tenant: str | None) -> str:
+    """Derive a valid namespace from an arbitrary tenant string.
+
+    Characters outside the allowed set map to ``_``, leading
+    non-alphanumerics are stripped, and the result is capped at 64
+    characters; an empty derivation falls back to
+    :data:`DEFAULT_NAMESPACE`.  The mapping is deterministic, so the
+    same tenant always lands in the same namespace.
+    """
+    cleaned = re.sub(r"[^A-Za-z0-9._-]", "_", tenant or "")
+    cleaned = cleaned.lstrip("._-")[:64]
+    if not cleaned:
+        return DEFAULT_NAMESPACE
+    return validate_namespace(cleaned)
+
+
+def shard_of(key: str) -> str:
+    """The shard directory name for ``key`` (its first hex chars)."""
+    prefix = str(key)[:SHARD_CHARS].lower()
+    return prefix.ljust(SHARD_CHARS, "0")
+
+
+class ArtifactStore:
+    """One namespace's sharded on-disk artifact tier.
+
+    ``hits``/``misses`` count :meth:`load` probes (a hit means a file
+    existed and was read — integrity is the caller's business),
+    ``evictions`` counts entries deleted to honour ``max_entries``, and
+    ``orphans_swept`` counts abandoned temp files removed at open.
+    All counters are instance-lifetime and also emitted as
+    ``store.{hits,misses,evictions}.<namespace>`` metrics when an
+    ambient :class:`~repro.observability.MetricsRegistry` is enabled.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        namespace: str = DEFAULT_NAMESPACE,
+        max_entries: int | None = None,
+        grace_seconds: float = DEFAULT_GRACE_SECONDS,
+        sweep_on_open: bool = True,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if grace_seconds < 0:
+            raise ValueError(
+                f"grace_seconds must be >= 0, got {grace_seconds}"
+            )
+        self.root = Path(root)
+        self.namespace = validate_namespace(namespace)
+        #: Per-namespace quota on published entries (None = unbounded).
+        self.max_entries = max_entries
+        self.grace_seconds = float(grace_seconds)
+        self._dir = self.root / self.namespace
+        self._dir.mkdir(parents=True, exist_ok=True)
+        # The lock guards counters and the shard table only — never
+        # held across file I/O.
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.publishes = 0
+        self.orphans_swept = 0
+        #: shard name -> [entry count, oldest entry mtime].  Built by
+        #: one full scan the first time eviction needs it, then
+        #: maintained incrementally; other replicas' activity makes it
+        #: approximate, and every shard scan re-trues its row.
+        self._shard_meta: dict[str, list[float]] = {}
+        self._meta_ready = False
+        if sweep_on_open:
+            self.sweep_orphans()
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        """This namespace's directory (``root/namespace``)."""
+        return self._dir
+
+    def path_for(self, key: str) -> Path:
+        """The final on-disk path of entry ``key``."""
+        return self._dir / shard_of(key) / f"{key}{ENTRY_SUFFIX}"
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+        metrics = get_metrics()
+        if metrics.is_enabled:
+            metrics.inc(f"store.{counter}.{self.namespace}", amount)
+
+    def counters(self) -> dict:
+        """Snapshot of this instance's counters (JSON-ready)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "publishes": self.publishes,
+                "orphans_swept": self.orphans_swept,
+            }
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> bytes | None:
+        """Raw bytes of entry ``key``, or None when absent/unreadable."""
+        try:
+            raw = self.path_for(key).read_bytes()
+        except OSError:
+            self._count("misses")
+            return None
+        self._count("hits")
+        return raw
+
+    def touch(self, key: str) -> None:
+        """LRU refresh: bump ``key``'s mtime so eviction sees it as young."""
+        with contextlib.suppress(OSError):
+            os.utime(self.path_for(key))
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def publish(self, key: str, blob: bytes) -> bool:
+        """Atomically publish ``blob`` as entry ``key``.
+
+        Safe against concurrent publishers of the same key in this or
+        any other process: each writer owns a unique temp file and the
+        final ``os.replace`` is atomic, so readers see either the old
+        complete entry or the new complete entry, never a mix.  Returns
+        False when the disk tier is unavailable (best-effort semantics:
+        the caller's in-memory tier still serves the current run).
+        """
+        shard = shard_of(key)
+        shard_dir = self._dir / shard
+        path = shard_dir / f"{key}{ENTRY_SUFFIX}"
+        tmp = None
+        try:
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=shard_dir, prefix=f".{key[:16]}-", suffix=TMP_SUFFIX
+            )
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            existed = path.exists()
+            os.replace(tmp, path)
+        except OSError:
+            if tmp is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+            return False
+        now = time.time()
+        with self._lock:
+            self.publishes += 1
+            if self._meta_ready:
+                meta = self._shard_meta.setdefault(shard, [0, now])
+                if not existed:
+                    meta[0] += 1
+                meta[1] = min(meta[1], now)
+        metrics = get_metrics()
+        if metrics.is_enabled:
+            metrics.inc(f"store.publishes.{self.namespace}")
+        if self.max_entries is not None:
+            self.evict()
+        return True
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def sweep_orphans(self) -> int:
+        """Delete temp files abandoned by crashed writers.
+
+        A temp file older than the grace window can no longer belong to
+        a live publish (publishes are short); one younger might, and is
+        left for the next sweep.  Returns the number removed.
+        """
+        cutoff = time.time() - self.grace_seconds
+        swept = 0
+        for directory in (self._dir, *self._shard_dirs()):
+            try:
+                entries = list(os.scandir(directory))
+            except OSError:
+                continue
+            for entry in entries:
+                if not entry.name.endswith(TMP_SUFFIX):
+                    continue
+                try:
+                    if entry.is_file() and entry.stat().st_mtime <= cutoff:
+                        os.unlink(entry.path)
+                        swept += 1
+                except OSError:
+                    continue  # Another replica's sweep won the race.
+        if swept:
+            self._count("orphans_swept", swept)
+            tracer = get_tracer()
+            if tracer.is_enabled:
+                tracer.event(
+                    "store.orphans_swept",
+                    namespace=self.namespace,
+                    count=swept,
+                )
+        return swept
+
+    def _shard_dirs(self) -> list[Path]:
+        try:
+            entries = list(os.scandir(self._dir))
+        except OSError:
+            return []
+        return [Path(e.path) for e in entries if e.is_dir()]
+
+    def _scan_shard(self, shard: str) -> list[tuple[float, Path]]:
+        """(mtime, path) of every entry in ``shard``, oldest first."""
+        entries: list[tuple[float, Path]] = []
+        try:
+            listing = list(os.scandir(self._dir / shard))
+        except OSError:
+            return entries
+        for item in listing:
+            if not item.name.endswith(ENTRY_SUFFIX):
+                continue
+            try:
+                entries.append((item.stat().st_mtime, Path(item.path)))
+            except OSError:
+                continue  # Evicted or replaced under us: skip.
+        entries.sort(key=lambda pair: (pair[0], pair[1].name))
+        return entries
+
+    def _ensure_meta(self) -> None:
+        """Build the shard table with one full scan (once per process)."""
+        with self._lock:
+            if self._meta_ready:
+                return
+        meta: dict[str, list[float]] = {}
+        for shard_dir in self._shard_dirs():
+            scanned = self._scan_shard(shard_dir.name)
+            if scanned:
+                meta[shard_dir.name] = [len(scanned), scanned[0][0]]
+        with self._lock:
+            if not self._meta_ready:
+                self._shard_meta = meta
+                self._meta_ready = True
+
+    def entry_count(self) -> int:
+        """Entries currently believed to exist in this namespace."""
+        self._ensure_meta()
+        with self._lock:
+            return int(sum(meta[0] for meta in self._shard_meta.values()))
+
+    def evict(self) -> int:
+        """Restore the ``max_entries`` bound; returns entries deleted.
+
+        Victim choice approximates global LRU: each round scans only
+        the shard whose oldest entry is globally oldest.  Entries
+        younger than the grace window are never deleted — when even the
+        globally-oldest entry is inside the window, every entry is, and
+        the bound is temporarily allowed to overshoot rather than risk
+        deleting what a concurrent replica just published or touched.
+        """
+        if self.max_entries is None:
+            return 0
+        self._ensure_meta()
+        total_evicted = 0
+        while True:
+            with self._lock:
+                total = sum(meta[0] for meta in self._shard_meta.values())
+                excess = int(total) - self.max_entries
+                if excess <= 0:
+                    break
+                candidates = [
+                    (meta[1], shard)
+                    for shard, meta in self._shard_meta.items()
+                    if meta[0] > 0
+                ]
+                if not candidates:
+                    break
+                _, shard = min(candidates)
+            # All file I/O below runs without the lock held.
+            scanned = self._scan_shard(shard)
+            cutoff = time.time() - self.grace_seconds
+            evicted = 0
+            survivors = list(scanned)
+            for mtime, path in scanned:
+                if evicted >= excess:
+                    break
+                if mtime > cutoff:
+                    break  # Oldest-first: everything after is younger.
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue  # Another replica evicted it first.
+                survivors.remove((mtime, path))
+                evicted += 1
+            with self._lock:
+                if survivors:
+                    self._shard_meta[shard] = [
+                        len(survivors), survivors[0][0]
+                    ]
+                else:
+                    self._shard_meta.pop(shard, None)
+                self.evictions += evicted
+            total_evicted += evicted
+            if evicted == 0:
+                # The globally-oldest shard had nothing evictable
+                # (grace window or lost races): stop for this round.
+                break
+        if total_evicted:
+            metrics = get_metrics()
+            if metrics.is_enabled:
+                metrics.inc(
+                    f"store.evictions.{self.namespace}", total_evicted
+                )
+                # Legacy alias kept for pre-store dashboards/tests.
+                metrics.inc("cache.evictions", total_evicted)
+            tracer = get_tracer()
+            if tracer.is_enabled:
+                tracer.event(
+                    "store.evict",
+                    namespace=self.namespace,
+                    count=total_evicted,
+                )
+        return total_evicted

@@ -17,7 +17,18 @@ from repro.parallel.cache import (
     content_key,
     entry_key,
 )
+from repro.store import ENTRY_SUFFIX, shard_of
 from repro.synthesis.leap import LeapConfig, SynthesisSolution
+
+
+def _entry_path(root, key, namespace="default"):
+    """Where the sharded store keeps ``key``'s entry on disk."""
+    return root / namespace / shard_of(key) / f"{key}{ENTRY_SUFFIX}"
+
+
+def _entries(root):
+    """All entry files under ``root``, any namespace/shard."""
+    return sorted(root.rglob(f"*{ENTRY_SUFFIX}"))
 
 
 def _solutions() -> list[SynthesisSolution]:
@@ -139,7 +150,7 @@ def test_corrupt_disk_entries_are_misses(tmp_path, corruption):
     key = entry_key("e" * 64, 5)
     cache = PoolCache(tmp_path)
     cache.put(key, _solutions())
-    (path,) = tmp_path.glob("*.qpool")
+    (path,) = _entries(tmp_path)
     path.write_bytes(corruption)
     fresh = PoolCache(tmp_path)
     assert fresh.get(key) is None
@@ -153,7 +164,7 @@ def test_truncated_disk_entry_is_a_miss(tmp_path):
     key = entry_key("f" * 64, 5)
     cache = PoolCache(tmp_path)
     cache.put(key, _solutions())
-    (path,) = tmp_path.glob("*.qpool")
+    (path,) = _entries(tmp_path)
     raw = path.read_bytes()
     path.write_bytes(raw[: len(raw) // 2])
     assert PoolCache(tmp_path).get(key) is None
@@ -164,7 +175,7 @@ def test_checksum_mismatch_is_a_miss(tmp_path):
     key = entry_key("a" * 64, 5)
     cache = PoolCache(tmp_path)
     cache.put(key, _solutions())
-    (path,) = tmp_path.glob("*.qpool")
+    (path,) = _entries(tmp_path)
     envelope = pickle.loads(path.read_bytes())
     envelope["payload"] = envelope["payload"][:-1] + b"\x00"
     path.write_bytes(pickle.dumps(envelope))
@@ -175,7 +186,7 @@ def test_wrong_version_or_key_is_a_miss(tmp_path):
     key = entry_key("b" * 64, 5)
     cache = PoolCache(tmp_path)
     cache.put(key, _solutions())
-    (path,) = tmp_path.glob("*.qpool")
+    (path,) = _entries(tmp_path)
     good = pickle.loads(path.read_bytes())
 
     stale = dict(good, version=CACHE_VERSION + 1)
@@ -197,7 +208,7 @@ def test_payload_type_is_validated(tmp_path):
     key = entry_key("9" * 64, 5)
     cache = PoolCache(tmp_path)
     cache.put(key, _solutions())
-    (path,) = tmp_path.glob("*.qpool")
+    (path,) = _entries(tmp_path)
     envelope = pickle.loads(path.read_bytes())
     import hashlib
 
@@ -209,17 +220,38 @@ def test_payload_type_is_validated(tmp_path):
 
 
 def test_leftover_tmp_files_are_ignored(tmp_path):
-    """An abandoned temp file from a crashed writer is not an entry."""
+    """An abandoned temp file from a crashed writer is not an entry,
+    and once past the grace window it is swept at open."""
     key = entry_key("7" * 64, 5)
-    (tmp_path / f"{key}.tmp.12345").write_bytes(b"half-written")
-    assert PoolCache(tmp_path).get(key) is None
+    shard_dir = _entry_path(tmp_path, key).parent
+    shard_dir.mkdir(parents=True)
+    orphan = shard_dir / f".{key[:16]}-dead.tmp"
+    orphan.write_bytes(b"half-written")
+    os.utime(orphan, (100, 100))  # long past any grace window
+    cache = PoolCache(tmp_path)
+    assert cache.get(key) is None
+    assert not orphan.exists()
+    assert cache.store.orphans_swept == 1
+
+
+def test_young_tmp_files_survive_the_sweep(tmp_path):
+    """A temp file inside the grace window may belong to a live writer
+    in another replica, so opening the store leaves it alone."""
+    key = entry_key("8" * 64, 5)
+    shard_dir = _entry_path(tmp_path, key).parent
+    shard_dir.mkdir(parents=True)
+    live = shard_dir / f".{key[:16]}-live.tmp"
+    live.write_bytes(b"mid-publish")
+    cache = PoolCache(tmp_path)
+    assert live.exists()
+    assert cache.store.orphans_swept == 0
 
 
 # ----------------------------------------------------------------------
 # Size-bounded disk tier (LRU by mtime)
 # ----------------------------------------------------------------------
 def _age(tmp_path, key, mtime):
-    os.utime(tmp_path / f"{key}.qpool", (mtime, mtime))
+    os.utime(_entry_path(tmp_path, key), (mtime, mtime))
 
 
 def test_max_entries_must_be_positive(tmp_path):
@@ -240,9 +272,9 @@ def test_lru_evicts_oldest_by_mtime(tmp_path):
     _age(tmp_path, keys[1], 200)
     cache.put(keys[2], _solutions())
     assert cache.evictions == 1
-    assert not (tmp_path / f"{keys[0]}.qpool").exists()
-    assert (tmp_path / f"{keys[1]}.qpool").exists()
-    assert (tmp_path / f"{keys[2]}.qpool").exists()
+    assert not _entry_path(tmp_path, keys[0]).exists()
+    assert _entry_path(tmp_path, keys[1]).exists()
+    assert _entry_path(tmp_path, keys[2]).exists()
 
 
 def test_lru_hit_refreshes_recency(tmp_path):
@@ -258,8 +290,8 @@ def test_lru_hit_refreshes_recency(tmp_path):
     assert cache.get(keys[0]) is not None
     cache.put(keys[2], _solutions())
     assert cache.evictions == 1
-    assert (tmp_path / f"{keys[0]}.qpool").exists()
-    assert not (tmp_path / f"{keys[1]}.qpool").exists()
+    assert _entry_path(tmp_path, keys[0]).exists()
+    assert not _entry_path(tmp_path, keys[1]).exists()
 
 
 def test_eviction_does_not_touch_memory_tier(tmp_path):
@@ -269,7 +301,7 @@ def test_eviction_does_not_touch_memory_tier(tmp_path):
     for index, key in enumerate(keys):
         cache.put(key, _solutions())
         _age(tmp_path, key, 100 + index)
-    on_disk = sorted(path.name for path in tmp_path.glob("*.qpool"))
+    on_disk = sorted(path.name for path in _entries(tmp_path))
     assert on_disk == [f"{keys[2]}.qpool"]
     assert cache.evictions == 2
     for key in keys:
@@ -282,7 +314,7 @@ def test_unbounded_cache_never_evicts(tmp_path):
     for seed in range(8):
         cache.put(entry_key("b2" * 32, seed), _solutions())
     assert cache.evictions == 0
-    assert len(list(tmp_path.glob("*.qpool"))) == 8
+    assert len(_entries(tmp_path)) == 8
 
 
 def test_bound_survives_across_instances(tmp_path):
@@ -290,11 +322,11 @@ def test_bound_survives_across_instances(tmp_path):
     on its next store (startup itself does not scan)."""
     for seed in range(4):
         PoolCache(tmp_path).put(entry_key("c3" * 32, seed), _solutions())
-    for index, key in enumerate(sorted(p.stem for p in tmp_path.glob("*.qpool"))):
+    for index, key in enumerate(sorted(p.stem for p in _entries(tmp_path))):
         _age(tmp_path, key, 100 + index)
     bounded = PoolCache(tmp_path, max_entries=2)
     bounded.put(entry_key("c3" * 32, 99), _solutions())
-    assert len(list(tmp_path.glob("*.qpool"))) == 2
+    assert len(_entries(tmp_path)) == 2
     assert bounded.evictions == 3
 
 
@@ -308,7 +340,7 @@ def test_corrupt_entries_counter(tmp_path):
     key = entry_key("c" * 64, 5)
     cache = PoolCache(tmp_path)
     cache.put(key, _solutions())
-    (path,) = tmp_path.glob("*.qpool")
+    (path,) = _entries(tmp_path)
     good = path.read_bytes()
 
     # Missing entry: a miss, not corruption.

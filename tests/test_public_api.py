@@ -34,6 +34,7 @@ def test_top_level_exports_resolve(name):
         "repro.parallel",
         "repro.resilience",
         "repro.observability",
+        "repro.store",
     ],
 )
 def test_subpackage_all_exports_resolve(module):
@@ -59,6 +60,7 @@ def test_exception_hierarchy():
         exceptions.ValidationError,
         exceptions.CheckpointError,
         exceptions.BlockTimeoutError,
+        exceptions.StoreError,
     ]
     for exc in subclasses:
         assert issubclass(exc, exceptions.ReproError)
